@@ -1,0 +1,94 @@
+"""Ablation: how close the restricted hierarchical scheduler gets to an oracle.
+
+TensorDash's interconnect allows only 8 movements per lane and its
+scheduler is a cascade of static-priority encoders.  An oracle with an
+unrestricted crossbar could always pack every effectual pair into
+``ceil(effectual / lanes)`` cycles per window walk.  This ablation measures
+the gap, which is the price of the 9% area interconnect versus a full
+crossbar (the comparison the paper makes qualitatively against
+Cambricon/SCNN-style designs).
+"""
+
+import numpy as np
+
+from benchmarks.common import print_header
+from repro.analysis.reporting import format_table
+from repro.core.scheduler import BatchScheduler
+
+SPARSITY_LEVELS = (0.3, 0.5, 0.7, 0.9)
+STREAM_ROWS = 200
+SAMPLES = 3
+
+
+def _oracle_cycles(effectual: np.ndarray, depth: int = 3) -> int:
+    """Cycles for an ideal scheduler limited only by lane count and window depth.
+
+    The oracle sees the same ``depth``-row staging window but can route any
+    pending effectual pair to any idle lane (a full crossbar).  Each cycle
+    it greedily consumes pairs oldest-row first, up to ``lanes`` of them,
+    then advances past every fully drained leading row.
+    """
+    rows, lanes = effectual.shape
+    remaining = effectual.sum(axis=1).astype(np.int64)
+    position = 0
+    cycles = 0
+    while position < rows:
+        window_end = min(position + depth, rows)
+        capacity = lanes
+        for row in range(position, window_end):
+            if capacity == 0:
+                break
+            take = min(int(remaining[row]), capacity)
+            remaining[row] -= take
+            capacity -= take
+        advance = 0
+        for row in range(position, window_end):
+            if remaining[row] == 0:
+                advance += 1
+            else:
+                break
+        position += max(advance, 1)
+        cycles += 1
+    return cycles
+
+
+def compute_scheduler_quality():
+    scheduler = BatchScheduler()
+    rows = []
+    for sparsity in SPARSITY_LEVELS:
+        actual, oracle, dense = [], [], []
+        for sample in range(SAMPLES):
+            rng = np.random.default_rng(sample)
+            effectual = rng.random((STREAM_ROWS, 16)) >= sparsity
+            actual.append(int(scheduler.stream_cycles(effectual)))
+            oracle.append(_oracle_cycles(effectual))
+            dense.append(STREAM_ROWS)
+        rows.append(
+            (
+                sparsity,
+                float(np.mean(dense)) / float(np.mean(actual)),
+                float(np.mean(dense)) / float(np.mean(oracle)),
+            )
+        )
+    return rows
+
+
+def test_ablation_scheduler_vs_oracle(benchmark):
+    rows = benchmark.pedantic(compute_scheduler_quality, rounds=1, iterations=1)
+
+    print_header(
+        "Ablation - restricted 8-option scheduler vs an unrestricted oracle",
+        "Design-choice check: the cheap interconnect should capture most of what "
+        "a full crossbar could.",
+    )
+    print(format_table(
+        "Speedup: TensorDash vs oracle",
+        ["sparsity", "TensorDash speedup", "oracle speedup"],
+        [[f"{int(s * 100)}%", td, orc] for s, td, orc in rows],
+    ))
+
+    for sparsity, tensordash, oracle in rows:
+        assert tensordash <= oracle * 1.02, "the oracle is an upper bound"
+        assert tensordash >= 0.7 * oracle, (
+            f"at {sparsity:.0%} the restricted scheduler should stay within 30% of the oracle"
+        )

@@ -1,0 +1,64 @@
+"""Section 4.4 (Training with bfloat16): overheads and efficiency with bfloat16 PEs.
+
+The paper implements bfloat16 variants of both designs: the compute-only
+area and power overheads rise to 1.13x and 1.05x (the priority encoders do
+not shrink with the datatype while the multipliers shrink nearly
+quadratically), the whole-chip area overhead stays negligible, and the
+energy efficiency becomes 1.84x for the compute logic and 1.43x overall.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_MODELS, geometric_mean, get_result, print_header, runner_for
+from repro.analysis.reporting import format_table
+from repro.core.config import bfloat16_config
+from repro.energy.area_model import AreaModel
+from repro.energy.power_model import PowerModel
+
+
+def compute_bfloat16():
+    config = bfloat16_config()
+    area = AreaModel(config)
+    power = PowerModel(config)
+    runner = runner_for("bfloat16")
+    core = []
+    overall = []
+    for model_name in BENCH_MODELS:
+        result = get_result(model_name, config_key="bfloat16")
+        report = runner.energy_report(result)
+        core.append(report.core_efficiency)
+        overall.append(report.overall_efficiency)
+    return {
+        "area_overhead": area.compute_overhead(),
+        "chip_area_overhead": area.chip_overhead(),
+        "power_overhead": power.power_overhead(),
+        "core_efficiency": geometric_mean(core),
+        "overall_efficiency": geometric_mean(overall),
+    }
+
+
+def test_bfloat16_configuration(benchmark):
+    results = benchmark.pedantic(compute_bfloat16, rounds=1, iterations=1)
+
+    print_header(
+        "Section 4.4 - bfloat16 configuration",
+        "Paper: 1.13x area / 1.05x power compute overheads; 1.84x core and "
+        "1.43x overall energy efficiency; chip-level area overhead negligible.",
+    )
+    rows = [
+        ["compute area overhead", results["area_overhead"], 1.13],
+        ["chip area overhead", results["chip_area_overhead"], 1.0005],
+        ["compute power overhead", results["power_overhead"], 1.05],
+        ["core energy efficiency", results["core_efficiency"], 1.84],
+        ["overall energy efficiency", results["overall_efficiency"], 1.43],
+    ]
+    print(format_table("bfloat16 measurements", ["metric", "measured", "paper"], rows))
+
+    fp32_area_overhead = AreaModel().compute_overhead()
+    assert results["area_overhead"] > fp32_area_overhead
+    assert results["area_overhead"] == pytest.approx(1.13, abs=0.04)
+    assert results["power_overhead"] == pytest.approx(1.05, abs=0.03)
+    assert results["chip_area_overhead"] < 1.01
+    assert results["core_efficiency"] > 1.2
+    assert results["overall_efficiency"] > 1.05
+    assert results["core_efficiency"] > results["overall_efficiency"]

@@ -1,0 +1,45 @@
+"""Figure 1: potential speedup from skipping zero-operand MACs.
+
+The paper measures, per model and per training convolution, the
+work-reduction upper bound ``all MACs / remaining MACs`` when MACs whose
+targeted operand (A for A*W, GO for A*G, max(GO, A) for W*G) is zero are
+eliminated, reporting roughly 3x on average with DenseNet-121 the lowest.
+"""
+
+from benchmarks.common import BENCH_MODELS, geometric_mean, get_trace, print_header
+from repro.analysis.reporting import format_series
+from repro.simulation.runner import ExperimentRunner
+
+
+def compute_fig01_series():
+    """Per-model, per-operation potential speedups from the traced operands."""
+    series = {}
+    for model_name in BENCH_MODELS:
+        trace = get_trace(model_name)
+        series[model_name] = ExperimentRunner.potential_speedups_from_trace(
+            trace.final_epoch()
+        )
+    return series
+
+
+def test_fig01_potential_speedup(benchmark):
+    series = benchmark.pedantic(compute_fig01_series, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 1 - Potential speedup of zero-skipping per training convolution",
+        "Paper: ~3x average across models; DenseNet121 lowest (>1.5x); "
+        "SqueezeNet >2x; pruned ResNet-50 variants high.",
+    )
+    print(format_series("Potential speedup (AxW / AxG / WxG / Total)", series))
+    averages = {
+        op: geometric_mean(values[op] for values in series.values())
+        for op in ("AxW", "AxG", "WxG", "Total")
+    }
+    print(f"\nGeometric mean: {averages}")
+
+    for model_name, values in series.items():
+        for operation, value in values.items():
+            assert value >= 1.0, f"{model_name}:{operation} potential below 1x"
+    # The headline shape: meaningful average potential, ReLU-heavy models high.
+    assert averages["Total"] > 1.3
+    assert series["gcn"]["Total"] < 1.1 if "gcn" in series else True

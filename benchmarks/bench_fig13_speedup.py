@@ -1,0 +1,42 @@
+"""Figure 13: TensorDash speedup over the dense baseline, per model and operation.
+
+The paper reports an average speedup of 1.95x across models with the
+default configuration (Table 2), with per-operation speedups differing
+because the sparsity level and pattern of the targeted operand differ;
+DenseNet-121's W*G speedup is negligible and TensorDash never slows
+execution down.
+"""
+
+from benchmarks.common import BENCH_MODELS, geometric_mean, get_result, print_header
+from repro.analysis.reporting import format_series
+
+
+def compute_fig13_series():
+    """Per-model, per-operation measured speedups under the default config."""
+    series = {}
+    for model_name in BENCH_MODELS:
+        result = get_result(model_name)
+        series[model_name] = result.per_operation_speedups()
+    return series
+
+
+def test_fig13_tensordash_speedup(benchmark):
+    series = benchmark.pedantic(compute_fig13_series, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 13 - TensorDash speedup over the baseline accelerator",
+        "Paper: 1.95x average; never slows down; DenseNet121 WxG negligible.",
+    )
+    print(format_series("Measured speedup (AxW / AxG / WxG / Total)", series))
+    averages = {
+        op: geometric_mean(values[op] for values in series.values())
+        for op in ("AxW", "AxG", "WxG", "Total")
+    }
+    print(f"\nGeometric mean: {averages}")
+
+    for model_name, values in series.items():
+        for operation, value in values.items():
+            assert value >= 1.0 - 1e-9, f"{model_name}:{operation} slowdown"
+            assert value <= 3.0 + 1e-9, f"{model_name}:{operation} exceeds staging cap"
+    # Headline shape: a meaningful average speedup driven by the ReLU models.
+    assert averages["Total"] > 1.3

@@ -1,0 +1,47 @@
+"""Figure 14: TensorDash speedup as training progresses.
+
+The paper traces one batch per epoch from the first epoch until
+convergence and reports that speedups are fairly stable throughout
+training: the pruned ResNet-50 variants start higher and settle, while the
+dense models follow a shallow inverted-U.
+"""
+
+from benchmarks.common import get_trace, print_header, runner_for
+from repro.analysis.reporting import format_table
+
+#: Models shown in the figure; a representative subset keeps the benchmark fast.
+FIG14_MODELS = ("alexnet", "squeezenet", "resnet50_DS90", "densenet121")
+FIG14_EPOCHS = 6
+
+
+def compute_fig14_series():
+    """Speedup per epoch for each tracked model."""
+    runner = runner_for(max_groups=32)
+    series = {}
+    for model_name in FIG14_MODELS:
+        trace = get_trace(model_name, epochs=FIG14_EPOCHS)
+        points = runner.run_over_training(trace)
+        series[model_name] = [point.speedup() for point in points]
+    return series
+
+
+def test_fig14_speedup_over_training(benchmark):
+    series = benchmark.pedantic(compute_fig14_series, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 14 - Speedup as training progresses (one traced batch per epoch)",
+        "Paper: speedups fairly stable across training; pruned ResNet variants "
+        "start higher then settle.",
+    )
+    rows = []
+    for model_name, speedups in series.items():
+        rows.append([model_name] + [round(s, 3) for s in speedups])
+    columns = ["model"] + [f"epoch{i}" for i in range(FIG14_EPOCHS)]
+    print(format_table("Speedup vs training progress", columns, rows))
+
+    for model_name, speedups in series.items():
+        assert len(speedups) == FIG14_EPOCHS
+        for value in speedups:
+            assert 1.0 - 1e-9 <= value <= 3.0 + 1e-9
+        # Stability: the paper's curves stay within a modest band.
+        assert max(speedups) - min(speedups) < 1.2, f"{model_name} unstable"

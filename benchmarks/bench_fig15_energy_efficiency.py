@@ -1,0 +1,46 @@
+"""Figure 15: core and overall energy efficiency of TensorDash per model.
+
+The paper reports that the compute logic of TensorDash is on average 1.89x
+more energy efficient than the baseline, and 1.6x when on-chip SRAM,
+scratchpad and off-chip DRAM accesses are also taken into account.
+"""
+
+from benchmarks.common import BENCH_MODELS, geometric_mean, get_result, print_header, runner_for
+from repro.analysis.reporting import format_table
+
+
+def compute_fig15():
+    runner = runner_for()
+    rows = {}
+    for model_name in BENCH_MODELS:
+        result = get_result(model_name)
+        report = runner.energy_report(result)
+        rows[model_name] = (report.core_efficiency, report.overall_efficiency)
+    return rows
+
+
+def test_fig15_energy_efficiency(benchmark):
+    rows = benchmark.pedantic(compute_fig15, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 15 - Energy efficiency of TensorDash over the baseline",
+        "Paper: 1.89x core energy efficiency, 1.6x overall (with memories).",
+    )
+    table_rows = [
+        [name, core, overall] for name, (core, overall) in rows.items()
+    ]
+    core_avg = geometric_mean(core for core, _ in rows.values())
+    overall_avg = geometric_mean(overall for _, overall in rows.values())
+    table_rows.append(["geomean", core_avg, overall_avg])
+    print(format_table(
+        "Energy efficiency", ["model", "core", "overall (with memories)"], table_rows
+    ))
+
+    for name, (core, overall) in rows.items():
+        if name == "gcn":
+            continue
+        assert core >= overall, f"{name}: memory energy should dilute the core ratio"
+        assert overall >= 0.99, f"{name}: TensorDash should not cost energy overall"
+    assert core_avg > 1.3
+    assert overall_avg > 1.1
+    assert core_avg > overall_avg

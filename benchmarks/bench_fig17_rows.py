@@ -1,0 +1,48 @@
+"""Figure 17: TensorDash speedup versus the number of PE rows per tile.
+
+The paper fixes the columns at 4 and sweeps rows over 1, 2, 4, 8 and 16:
+average speedup falls from 2.1x (1 row) to 1.72x (16 rows) because every
+row must wait for the one with the densest operand stream (work imbalance
+caused by feature-map clustering of non-zeros).
+"""
+
+from benchmarks.common import geometric_mean, get_trace, print_header, runner_for
+from repro.analysis.reporting import format_table
+
+ROW_SWEEP = (1, 2, 4, 8, 16)
+#: Subset of models to keep the 5-point sweep fast; the trend is per-model.
+SWEEP_MODELS = ("alexnet", "squeezenet", "vgg16", "img2txt")
+
+
+def compute_fig17():
+    per_rows = {}
+    for rows in ROW_SWEEP:
+        runner = runner_for(f"rows{rows}", max_groups=32)
+        speedups = {}
+        for model_name in SWEEP_MODELS:
+            trace = get_trace(model_name)
+            speedups[model_name] = runner.run_final_epoch(trace).speedup()
+        per_rows[rows] = speedups
+    return per_rows
+
+
+def test_fig17_speedup_vs_rows(benchmark):
+    per_rows = benchmark.pedantic(compute_fig17, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 17 - Speedup vs number of PE rows per tile (columns fixed at 4)",
+        "Paper: average falls from 2.1x (1 row) to 1.72x (16 rows).",
+    )
+    table_rows = []
+    averages = {}
+    for rows, speedups in per_rows.items():
+        averages[rows] = geometric_mean(speedups.values())
+        table_rows.append([f"{rows} rows"] + [speedups[m] for m in SWEEP_MODELS] + [averages[rows]])
+    print(format_table(
+        "Speedup vs PE rows", ["config"] + list(SWEEP_MODELS) + ["geomean"], table_rows
+    ))
+
+    # Monotone (non-increasing) trend with more rows, per model and on average.
+    for earlier, later in zip(ROW_SWEEP, ROW_SWEEP[1:]):
+        assert averages[later] <= averages[earlier] + 1e-6
+    assert averages[1] > averages[16]

@@ -1,0 +1,50 @@
+"""Figure 18: TensorDash speedup versus the number of PE columns per tile.
+
+With sparsity extracted from one side only, PEs along a row share the same
+schedule, so scaling the columns from 4 to 16 (16K MACs/cycle total) leaves
+the speedup essentially unchanged; only slight drops due to fragmentation
+at layer edges appear.
+"""
+
+from benchmarks.common import geometric_mean, get_trace, print_header, runner_for
+from repro.analysis.reporting import format_table
+
+COLUMN_SWEEP = (4, 16)
+SWEEP_MODELS = ("alexnet", "squeezenet", "vgg16", "img2txt", "densenet121")
+
+
+def compute_fig18():
+    per_columns = {}
+    for columns in COLUMN_SWEEP:
+        runner = runner_for(f"cols{columns}", max_groups=32)
+        speedups = {}
+        for model_name in SWEEP_MODELS:
+            trace = get_trace(model_name)
+            speedups[model_name] = runner.run_final_epoch(trace).speedup()
+        per_columns[columns] = speedups
+    return per_columns
+
+
+def test_fig18_speedup_vs_columns(benchmark):
+    per_columns = benchmark.pedantic(compute_fig18, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 18 - Speedup vs number of PE columns per tile (rows fixed at 4)",
+        "Paper: columns share the row schedule, so speedup is essentially flat.",
+    )
+    table_rows = []
+    for columns, speedups in per_columns.items():
+        table_rows.append(
+            [f"{columns} columns"] + [speedups[m] for m in SWEEP_MODELS]
+            + [geometric_mean(speedups.values())]
+        )
+    print(format_table(
+        "Speedup vs PE columns", ["config"] + list(SWEEP_MODELS) + ["geomean"], table_rows
+    ))
+
+    for model_name in SWEEP_MODELS:
+        narrow = per_columns[4][model_name]
+        wide = per_columns[16][model_name]
+        assert wide == narrow or abs(wide - narrow) / narrow < 0.1, (
+            f"{model_name}: column scaling should not materially change speedup"
+        )

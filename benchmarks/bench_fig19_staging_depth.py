@@ -1,0 +1,49 @@
+"""Figure 19: TensorDash speedup with 2-deep versus 3-deep staging buffers.
+
+The 2-deep configuration (lookahead 1, five movement options per
+multiplier) is the lower-cost design point; its speedups are lower but
+still considerable.  The paper plots DenseNet-121, SqueezeNet, img2txt,
+resnet50_DS90 and the geometric mean.
+"""
+
+from benchmarks.common import geometric_mean, get_trace, print_header, runner_for
+from repro.analysis.reporting import format_table
+
+FIG19_MODELS = ("densenet121", "squeezenet", "img2txt", "resnet50_DS90")
+
+
+def compute_fig19():
+    results = {}
+    for depth_key in ("staging2", "default"):
+        runner = runner_for(depth_key, max_groups=32)
+        speedups = {}
+        for model_name in FIG19_MODELS:
+            trace = get_trace(model_name)
+            speedups[model_name] = runner.run_final_epoch(trace).speedup()
+        results[depth_key] = speedups
+    return results
+
+
+def test_fig19_staging_depth(benchmark):
+    results = benchmark.pedantic(compute_fig19, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 19 - Speedup with 2-deep vs 3-deep staging buffers",
+        "Paper: 2-deep is lower but still considerable (another cost/performance point).",
+    )
+    table_rows = []
+    for label, key in (("2-Deep", "staging2"), ("3-Deep", "default")):
+        speedups = results[key]
+        table_rows.append(
+            [label] + [speedups[m] for m in FIG19_MODELS] + [geometric_mean(speedups.values())]
+        )
+    print(format_table(
+        "Speedup by staging depth", ["config"] + list(FIG19_MODELS) + ["geomean"], table_rows
+    ))
+
+    for model_name in FIG19_MODELS:
+        shallow = results["staging2"][model_name]
+        deep = results["default"][model_name]
+        assert shallow <= deep + 1e-9, f"{model_name}: 2-deep should not beat 3-deep"
+        assert shallow >= 1.0 - 1e-9
+        assert shallow <= 2.0 + 1e-9, "2-deep speedup is capped at 2x by construction"

@@ -1,0 +1,75 @@
+"""Table 3: area and power breakdown of TensorDash versus the baseline.
+
+Paper numbers (FP32, 65 nm, compute logic only): 30.41 mm2 / 13,910 mW
+compute cores, 0.38 mm2 / 47.3 mW transposers, 0.91 mm2 / 102.8 mW
+schedulers + B-side muxes, 1.73 mm2 / 145.3 mW A-side muxes; overall a
+1.09x area and 1.02x power overhead, and 1.89x core energy efficiency at
+the 1.95x average speedup.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_MODELS, geometric_mean, get_result, print_header, runner_for
+from repro.analysis.reporting import format_table
+from repro.core.config import paper_default_config
+from repro.energy.area_model import AreaModel
+from repro.energy.power_model import PowerModel
+
+
+def compute_table3():
+    config = paper_default_config()
+    area = AreaModel(config)
+    power = PowerModel(config)
+    runner = runner_for()
+    core_efficiencies = []
+    for model_name in BENCH_MODELS:
+        result = get_result(model_name)
+        core_efficiencies.append(runner.energy_report(result).core_efficiency)
+    return {
+        "area_tensordash": area.tensordash(),
+        "area_baseline": area.baseline(),
+        "power_tensordash": power.tensordash(),
+        "power_baseline": power.baseline(),
+        "area_overhead": area.compute_overhead(),
+        "chip_area_overhead": area.chip_overhead(),
+        "power_overhead": power.power_overhead(),
+        "core_energy_efficiency": geometric_mean(core_efficiencies),
+    }
+
+
+def test_table3_area_power_breakdown(benchmark):
+    table = benchmark.pedantic(compute_table3, rounds=1, iterations=1)
+
+    print_header(
+        "Table 3 - Area [mm2] and power [mW] breakdown, TensorDash vs baseline",
+        "Paper: 1.09x area, 1.02x power, 1.89x core energy efficiency (FP32).",
+    )
+    area_td = table["area_tensordash"]
+    area_bl = table["area_baseline"]
+    power_td = table["power_tensordash"]
+    power_bl = table["power_baseline"]
+    rows = [
+        ["Compute Cores", area_td.compute_cores, area_bl.compute_cores,
+         power_td.compute_cores, power_bl.compute_cores],
+        ["Transposers", area_td.transposers, area_bl.transposers,
+         power_td.transposers, power_bl.transposers],
+        ["Schedulers+B-Side MUXes", area_td.schedulers_and_b_muxes, 0.0,
+         power_td.schedulers_and_b_muxes, 0.0],
+        ["A-Side MUXes", area_td.a_muxes, 0.0, power_td.a_muxes, 0.0],
+        ["Total (compute)", area_td.compute_total, area_bl.compute_total,
+         power_td.total, power_bl.total],
+    ]
+    print(format_table(
+        "Component breakdown",
+        ["component", "TD area", "Base area", "TD power", "Base power"],
+        rows,
+    ))
+    print(f"\nArea overhead (compute only): {table['area_overhead']:.3f}x  (paper: 1.09x)")
+    print(f"Area overhead (whole chip):   {table['chip_area_overhead']:.4f}x (paper: ~1.0005x)")
+    print(f"Power overhead:               {table['power_overhead']:.3f}x  (paper: 1.02x)")
+    print(f"Core energy efficiency:       {table['core_energy_efficiency']:.3f}x (paper: 1.89x)")
+
+    assert table["area_overhead"] == pytest.approx(1.09, abs=0.02)
+    assert table["power_overhead"] == pytest.approx(1.02, abs=0.02)
+    assert table["chip_area_overhead"] < 1.01
+    assert table["core_energy_efficiency"] > 1.3

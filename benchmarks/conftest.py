@@ -1,0 +1,14 @@
+"""Benchmark-harness pytest configuration.
+
+Keeps the ``src`` layout importable without an installed package and makes
+the shared workload cache (`benchmarks.common`) resolvable when pytest is
+invoked from the repository root.
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for path in (_ROOT / "src", _ROOT):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))

@@ -1,0 +1,85 @@
+"""Pruning-during-training study: dense ResNet-50 vs DS90 vs SM90.
+
+The paper's resnet50_DS90 and resnet50_SM90 workloads train ResNet-50 with
+dynamic sparse reparameterization and sparse momentum, both targeting 90%
+weight sparsity.  Pruning creates zero weights directly and, as training
+proceeds, increases the sparsity of activations and gradients too, which
+amplifies TensorDash's benefit.
+
+This example trains all three variants of the scaled ResNet-50, reports the
+weight / activation / gradient sparsity each ends up with, and compares the
+resulting accelerator speedups.
+
+Run with:  python examples/pruned_training_study.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.reporting import format_table
+from repro.models import build_dataset, build_model
+from repro.models.registry import build_pruning_hook
+from repro.nn.optim import MomentumSGD
+from repro.simulation import ExperimentRunner
+from repro.training import Trainer, TrainingConfig
+
+VARIANTS = ("resnet50", "resnet50_DS90", "resnet50_SM90")
+
+
+def train_and_simulate(variant: str):
+    """Train one ResNet-50 variant and simulate its final traced epoch."""
+    model = build_model(variant)
+    dataset = build_dataset(variant)
+    optimizer = MomentumSGD(model.parameters(), lr=0.01)
+    pruning_hook = build_pruning_hook(variant, optimizer)
+    trainer = Trainer(
+        model,
+        optimizer,
+        config=TrainingConfig(epochs=3, batches_per_epoch=2, batch_size=8),
+        pruning_hook=pruning_hook,
+    )
+    trace = trainer.train(dataset, model_name=variant)
+    runner = ExperimentRunner(max_groups=48)
+    result = runner.run_final_epoch(trace)
+    epoch = trace.final_epoch()
+    return {
+        "weight_sparsity": epoch.mean_sparsity("weights"),
+        "activation_sparsity": epoch.mean_sparsity("activations"),
+        "gradient_sparsity": epoch.mean_sparsity("gradients"),
+        "speedup": result.speedup(),
+        "potential": ExperimentRunner.potential_speedups_from_trace(epoch)["Total"],
+    }
+
+
+def main() -> None:
+    rows = []
+    for variant in VARIANTS:
+        print(f"Training and simulating {variant}...")
+        stats = train_and_simulate(variant)
+        rows.append([
+            variant,
+            stats["weight_sparsity"],
+            stats["activation_sparsity"],
+            stats["gradient_sparsity"],
+            stats["potential"],
+            stats["speedup"],
+        ])
+
+    print()
+    print(format_table(
+        "ResNet-50: dense vs pruning-during-training (90% target)",
+        ["variant", "weight sparsity", "activation sparsity", "gradient sparsity",
+         "potential", "TensorDash speedup"],
+        rows,
+    ))
+    print()
+    print("In the paper the pruned variants show the pruning-induced boost most "
+          "strongly early in training (Fig. 14); with the scaled models and the "
+          "few epochs used here the weight sparsity reaches its 90% target while "
+          "the knock-on activation/gradient sparsity is smaller than at ImageNet scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for environments without PEP 517 build isolation support."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="TensorDash (MICRO 2020) reproduction",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

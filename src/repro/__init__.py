@@ -1,0 +1,52 @@
+"""TensorDash reproduction library.
+
+This package reproduces the system described in "TensorDash: Exploiting
+Sparsity to Accelerate Deep Neural Network Training and Inference"
+(MICRO 2020).  It contains:
+
+``repro.core``
+    The paper's contribution: the sparse input interconnect, the hierarchical
+    hardware scheduler, staging buffers, TensorDash and baseline processing
+    elements, tiles and the multi-tile accelerator model.
+
+``repro.nn``
+    A from-scratch numpy training framework used to generate realistic
+    sparsity traces (activations, weights and gradients) for the simulator.
+
+``repro.models``
+    A scaled-down model zoo mirroring the networks evaluated in the paper.
+
+``repro.pruning``
+    Pruning-during-training methods (dynamic sparse reparameterization and
+    sparse momentum) used for the resnet50_DS90 / resnet50_SM90 workloads.
+
+``repro.training``
+    Training loop and operand-trace collection for the three training
+    convolutions.
+
+``repro.memory``
+    Tensor layout, transposers, on-chip SRAM, off-chip DRAM and zero
+    compression models.
+
+``repro.energy``
+    Area, power and energy accounting for FP32 and bfloat16 configurations.
+
+``repro.simulation``
+    Mapping of layers to operand streams, the cycle-level simulation driver
+    and the experiment runner used by the benchmark harness.
+"""
+
+from repro.core.config import AcceleratorConfig, PEConfig, TileConfig
+from repro.core.accelerator import Accelerator
+from repro.simulation.runner import ExperimentRunner, simulate_model_training
+
+__all__ = [
+    "AcceleratorConfig",
+    "PEConfig",
+    "TileConfig",
+    "Accelerator",
+    "ExperimentRunner",
+    "simulate_model_training",
+]
+
+__version__ = "1.0.0"

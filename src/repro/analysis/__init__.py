@@ -1,0 +1,13 @@
+"""Result aggregation and report formatting for the benchmark harness."""
+
+from repro.analysis.metrics import geometric_mean, arithmetic_mean, summarize_speedups
+from repro.analysis.reporting import format_table, format_series, ReportTable
+
+__all__ = [
+    "geometric_mean",
+    "arithmetic_mean",
+    "summarize_speedups",
+    "format_table",
+    "format_series",
+    "ReportTable",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface for the TensorDash reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``list-models``
+    Show the registered workloads (the paper's model list).
+
+``simulate``
+    Train one workload briefly, trace it and report TensorDash's
+    per-operation speedups, potential speedups and energy efficiency.
+
+``sweep``
+    Re-simulate one traced workload across a configuration sweep
+    (tile rows, staging depth or datatype).
+
+Examples
+--------
+::
+
+    python -m repro list-models
+    python -m repro simulate alexnet --epochs 2
+    python -m repro sweep squeezenet --knob rows --values 1,4,16
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.core.config import AcceleratorConfig
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    available_models,
+    build_dataset,
+    build_model,
+    build_pruning_hook,
+)
+from repro.nn.optim import MomentumSGD
+from repro.simulation.runner import ExperimentRunner
+from repro.training.trainer import Trainer, TrainingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TensorDash (MICRO 2020) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-models", help="list the registered workloads")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="train, trace and simulate one workload"
+    )
+    simulate.add_argument("model", choices=available_models())
+    simulate.add_argument("--epochs", type=int, default=2)
+    simulate.add_argument("--batch-size", type=int, default=8)
+    simulate.add_argument("--batches-per-epoch", type=int, default=2)
+    simulate.add_argument("--max-groups", type=int, default=64,
+                          help="work groups sampled per layer per operation")
+    simulate.add_argument("--datatype", choices=("fp32", "bfloat16"), default="fp32")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep one design knob over a traced workload"
+    )
+    sweep.add_argument("model", choices=available_models())
+    sweep.add_argument("--knob", choices=("rows", "staging", "datatype"), default="rows")
+    sweep.add_argument("--values", default="1,4,8,16",
+                       help="comma-separated knob values")
+    sweep.add_argument("--epochs", type=int, default=2)
+    sweep.add_argument("--max-groups", type=int, default=48)
+    return parser
+
+
+def _train_and_trace(model_name: str, epochs: int, batch_size: int, batches: int):
+    model = build_model(model_name)
+    dataset = build_dataset(model_name)
+    optimizer = MomentumSGD(model.parameters(), lr=0.01)
+    pruning_hook = build_pruning_hook(model_name, optimizer)
+    trainer = Trainer(
+        model,
+        optimizer,
+        config=TrainingConfig(
+            epochs=epochs, batches_per_epoch=batches, batch_size=batch_size
+        ),
+        pruning_hook=pruning_hook,
+    )
+    return trainer.train(dataset, model_name=model_name)
+
+
+def _command_list_models() -> int:
+    rows = [
+        [name, spec.pruning or "-", spec.description]
+        for name, spec in sorted(MODEL_REGISTRY.items())
+    ]
+    print(format_table("Registered workloads", ["model", "pruning", "description"], rows))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    config = AcceleratorConfig().with_pe(datatype=args.datatype)
+    print(f"Accelerator: {config.describe()}")
+    print(f"Training {args.model} for {args.epochs} epoch(s)...")
+    trace = _train_and_trace(args.model, args.epochs, args.batch_size, args.batches_per_epoch)
+    runner = ExperimentRunner(config, max_groups=args.max_groups)
+    result = runner.run_final_epoch(trace)
+    potentials = ExperimentRunner.potential_speedups_from_trace(trace.final_epoch())
+    speedups = result.per_operation_speedups()
+    rows = [
+        [op, potentials.get(op, float("nan")), speedups[op]]
+        for op in ("AxW", "AxG", "WxG", "Total")
+    ]
+    print(format_table(
+        f"{args.model}: TensorDash vs baseline",
+        ["operation", "potential", "speedup"],
+        rows,
+    ))
+    report = runner.energy_report(result)
+    print(f"Core energy efficiency:    {report.core_efficiency:.3f}x")
+    print(f"Overall energy efficiency: {report.overall_efficiency:.3f}x")
+    return 0
+
+
+def _config_for_knob(knob: str, value: str) -> AcceleratorConfig:
+    base = AcceleratorConfig()
+    if knob == "rows":
+        return base.with_tile(rows=int(value))
+    if knob == "staging":
+        return base.with_pe(staging_depth=int(value))
+    if knob == "datatype":
+        return base.with_pe(datatype=value)
+    raise ValueError(f"unknown knob {knob!r}")
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    values = [v.strip() for v in args.values.split(",") if v.strip()]
+    print(f"Training {args.model} once; sweeping {args.knob} over {values}...")
+    trace = _train_and_trace(args.model, args.epochs, batch_size=8, batches=2)
+    rows = []
+    for value in values:
+        config = _config_for_knob(args.knob, value)
+        runner = ExperimentRunner(config, max_groups=args.max_groups)
+        result = runner.run_final_epoch(trace)
+        report = runner.energy_report(result)
+        rows.append([f"{args.knob}={value}", result.speedup(),
+                     report.core_efficiency, report.overall_efficiency])
+    print(format_table(
+        f"{args.model}: {args.knob} sweep",
+        ["configuration", "speedup", "core energy eff.", "overall energy eff."],
+        rows,
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list-models":
+        return _command_list_models()
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2

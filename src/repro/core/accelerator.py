@@ -1,0 +1,248 @@
+"""The multi-tile accelerator model.
+
+An accelerator is a grid of tiles (16 by default) fed from shared on-chip
+AM/BM/CM memories.  Work is distributed across tiles at the granularity of
+(filter-group, window-group) assignments; the accelerator's latency for an
+operation is the maximum latency across its tiles (they operate in
+lockstep on a layer), matching how the paper's simulator accounts for
+inter-tile imbalance.
+
+For large workloads the per-value functional simulation in
+:class:`repro.core.tile.TensorDashTile` is too slow, so the accelerator
+offers a cycle-only path built on the vectorised
+:class:`repro.core.scheduler.BatchScheduler`; its cycle counts are
+identical to the functional model (verified by tests) because the
+scheduler decisions only depend on the operand zero patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AcceleratorConfig
+from repro.core.interconnect import ConnectivityPattern
+from repro.core.scheduler import BatchScheduler
+
+
+@dataclass
+class OperationResult:
+    """Cycle accounting for one operation (one of the three convolutions)."""
+
+    name: str
+    baseline_cycles: int
+    tensordash_cycles: int
+    macs_total: int
+    macs_effectual: int
+
+    @property
+    def speedup(self) -> float:
+        """Baseline cycles divided by TensorDash cycles."""
+        if self.tensordash_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.tensordash_cycles
+
+    @property
+    def potential_speedup(self) -> float:
+        """Work-reduction upper bound: total MACs over effectual MACs."""
+        if self.macs_effectual == 0:
+            return float(self.macs_total) if self.macs_total else 1.0
+        return self.macs_total / self.macs_effectual
+
+
+class Accelerator:
+    """Cycle-level model of the full TensorDash accelerator.
+
+    Parameters
+    ----------
+    config:
+        Accelerator configuration; ``config.power_gated`` turns the model
+        into the dense baseline (TensorDash components disabled).
+    """
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None):
+        self.config = config or AcceleratorConfig()
+        self.pattern = ConnectivityPattern(
+            lanes=self.config.pe.lanes,
+            staging_depth=self.config.pe.staging_depth,
+        )
+        self.batch_scheduler = BatchScheduler(self.pattern)
+
+    # ------------------------------------------------------------------
+    def baseline_cycles_for_rows(self, dense_rows: int) -> int:
+        """Cycles the dense baseline needs for ``dense_rows`` schedule rows."""
+        return int(dense_rows)
+
+    def tile_cycles(self, row_effectual: np.ndarray) -> int:
+        """Cycles one tile needs to process a group of row streams in lockstep.
+
+        Parameters
+        ----------
+        row_effectual:
+            Boolean array of shape ``(tile_rows, stream_rows, lanes)``:
+            the effectual (non-zero B) positions of the dense schedule for
+            each PE row of the tile.  All rows advance together at the
+            minimum per-row AS (shared A-side staging buffers).
+        """
+        if self.config.power_gated:
+            return int(row_effectual.shape[1])
+        num_rows, stream_rows, lanes = row_effectual.shape
+        depth = self.config.pe.staging_depth
+        if stream_rows == 0:
+            return 0
+        padded = np.zeros((num_rows, stream_rows + depth, lanes), dtype=bool)
+        padded[:, :stream_rows] = row_effectual
+        position = 0
+        cycles = 0
+        row_index = np.arange(depth)
+        while position < stream_rows:
+            windows = padded[:, position + row_index, :]
+            claimed, advance, _ = self.batch_scheduler.schedule(windows)
+            padded[:, position + row_index, :] &= ~claimed
+            step = int(advance.min())
+            step = min(step, stream_rows - position)
+            position += step
+            cycles += 1
+        return cycles
+
+    def independent_streams_cycles(self, effectual: np.ndarray) -> np.ndarray:
+        """Cycles for independent streams with no inter-row synchronisation.
+
+        Used for single-row tiles and for per-PE (two-side) studies.
+        """
+        if self.config.power_gated:
+            batch, stream_rows, _ = effectual.shape
+            return np.full(batch, stream_rows, dtype=np.int64)
+        return self.batch_scheduler.stream_cycles_batch(effectual)
+
+    def tile_cycles_batch(self, groups: np.ndarray) -> np.ndarray:
+        """Cycles per work group for many tile-row groups processed at once.
+
+        Parameters
+        ----------
+        groups:
+            Boolean array of shape ``(num_groups, tile_rows, stream_rows,
+            lanes)``.  Each group's rows advance in lockstep (shared A-side
+            staging buffers); different groups are independent.
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-group cycle counts.  Summing them gives the operation's
+            TensorDash cycles; ``num_groups * stream_rows`` gives the
+            baseline's.
+        """
+        groups = np.asarray(groups, dtype=bool)
+        if groups.ndim != 4:
+            raise ValueError(
+                f"groups must be 4D (groups, tile_rows, stream_rows, lanes), got {groups.shape}"
+            )
+        num_groups, tile_rows, stream_rows, lanes = groups.shape
+        if self.config.power_gated:
+            return np.full(num_groups, stream_rows, dtype=np.int64)
+        if stream_rows == 0 or num_groups == 0:
+            return np.zeros(num_groups, dtype=np.int64)
+        depth = self.config.pe.staging_depth
+
+        flat = groups.reshape(num_groups * tile_rows, stream_rows, lanes)
+        padded = np.zeros((flat.shape[0], stream_rows + depth, lanes), dtype=bool)
+        padded[:, :stream_rows] = flat
+
+        group_position = np.zeros(num_groups, dtype=np.int64)
+        cycles = np.zeros(num_groups, dtype=np.int64)
+        row_offsets = np.arange(depth)
+        stream_group = np.repeat(np.arange(num_groups), tile_rows)
+
+        active_groups = group_position < stream_rows
+        while active_groups.any():
+            active_streams = active_groups[stream_group]
+            stream_idx = np.nonzero(active_streams)[0]
+            positions = group_position[stream_group[stream_idx]]
+            gather = positions[:, None] + row_offsets[None, :]
+            windows = padded[
+                stream_idx[:, None, None],
+                gather[:, :, None],
+                np.arange(lanes)[None, None, :],
+            ]
+            claimed, advance, _ = self.batch_scheduler.schedule(windows)
+            padded[
+                stream_idx[:, None, None],
+                gather[:, :, None],
+                np.arange(lanes)[None, None, :],
+            ] &= ~claimed
+            # Reduce the per-stream advance to a per-group minimum.
+            group_advance = np.full(num_groups, np.iinfo(np.int64).max, dtype=np.int64)
+            np.minimum.at(group_advance, stream_group[stream_idx], advance)
+            active_idx = np.nonzero(active_groups)[0]
+            step = np.minimum(
+                group_advance[active_idx], stream_rows - group_position[active_idx]
+            )
+            group_position[active_idx] += step
+            cycles[active_idx] += 1
+            active_groups = group_position < stream_rows
+        return cycles
+
+    # ------------------------------------------------------------------
+    def run_operation(
+        self,
+        name: str,
+        row_groups: Sequence[np.ndarray],
+    ) -> OperationResult:
+        """Run one operation expressed as per-tile row groups.
+
+        Parameters
+        ----------
+        name:
+            Operation label (``"AxW"``, ``"AxG"`` or ``"WxG"``).
+        row_groups:
+            A sequence of boolean arrays, each of shape
+            ``(tile_rows, stream_rows, lanes)``.  Each array is the work
+            one tile-row-group performs in lockstep; groups are processed
+            back to back (or on parallel tiles — the relative speedup is
+            unaffected because the baseline is scaled identically).
+        """
+        baseline_cycles = 0
+        tensordash_cycles = 0
+        macs_total = 0
+        macs_effectual = 0
+        lanes = self.config.pe.lanes
+
+        if isinstance(row_groups, np.ndarray) and row_groups.ndim == 4:
+            groups = np.asarray(row_groups, dtype=bool)
+            num_groups, tile_rows, stream_rows, _ = groups.shape
+            baseline_cycles = num_groups * stream_rows
+            tensordash_cycles = int(self.tile_cycles_batch(groups).sum())
+            macs_total = num_groups * tile_rows * stream_rows * lanes
+            macs_effectual = int(groups.sum())
+            return OperationResult(
+                name=name,
+                baseline_cycles=baseline_cycles,
+                tensordash_cycles=tensordash_cycles,
+                macs_total=macs_total,
+                macs_effectual=macs_effectual,
+            )
+
+        for group in row_groups:
+            group = np.asarray(group, dtype=bool)
+            if group.ndim != 3:
+                raise ValueError(
+                    f"row group must be 3D (tile_rows, stream_rows, lanes), got {group.shape}"
+                )
+            stream_rows = group.shape[1]
+            baseline_cycles += self.baseline_cycles_for_rows(stream_rows)
+            tensordash_cycles += self.tile_cycles(group)
+            macs_total += group.shape[0] * stream_rows * lanes
+            macs_effectual += int(group.sum())
+        return OperationResult(
+            name=name,
+            baseline_cycles=baseline_cycles,
+            tensordash_cycles=tensordash_cycles,
+            macs_total=macs_total,
+            macs_effectual=macs_effectual,
+        )
+
+    def describe(self) -> str:
+        """Summary string for reports."""
+        return self.config.describe()

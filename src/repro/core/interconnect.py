@@ -1,0 +1,179 @@
+"""The sparse input interconnect: per-lane movement options.
+
+Each multiplier input is fed through a small multiplexer that can select
+one of a limited set of values from the staging buffer (Fig. 9).  For the
+paper's preferred configuration (16 lanes, 3-deep staging buffer) each lane
+has eight options, listed in the scheduler's static priority order:
+
+====  ==============  ====================================
+rank  (step, lane)    meaning
+====  ==============  ====================================
+0     (+0, i)         the original dense-schedule value
+1     (+1, i)         lookahead one step
+2     (+2, i)         lookahead two steps
+3     (+1, i-1)       lookaside from the left neighbour
+4     (+1, i+1)       lookaside from the right neighbour
+5     (+2, i-2)       lookaside two lanes left, two steps ahead
+6     (+2, i+2)       lookaside two lanes right, two steps ahead
+7     (+1, i-3)       lookaside three lanes left, one step ahead
+====  ==============  ====================================
+
+Lane indices wrap around (the lanes form a ring).  A 2-deep staging buffer
+(the lower-cost design point of Fig. 19) keeps only the options whose step
+fits, i.e. five movements per multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+# The connectivity template as (step, lane_offset) pairs in priority order.
+# This is the pattern of Fig. 9, shared (shifted) by every lane.
+_FULL_TEMPLATE: Tuple[Tuple[int, int], ...] = (
+    (0, 0),   # dense schedule
+    (1, 0),   # lookahead 1
+    (2, 0),   # lookahead 2
+    (1, -1),  # lookaside
+    (1, +1),
+    (2, -2),
+    (2, +2),
+    (1, -3),
+)
+
+
+class ConnectivityPattern:
+    """Movement options per lane for a given PE geometry.
+
+    Parameters
+    ----------
+    lanes:
+        Number of multiplier lanes in the PE (16 for the paper's default).
+    staging_depth:
+        Depth of the staging buffer; options whose lookahead step exceeds
+        ``staging_depth - 1`` are removed, which yields the paper's
+        8-option (3-deep) and 5-option (2-deep) configurations.
+    template:
+        Optional custom template of ``(step, lane_offset)`` pairs in
+        priority order; used by the interconnect-geometry ablation.
+    """
+
+    def __init__(
+        self,
+        lanes: int = 16,
+        staging_depth: int = 3,
+        template: Sequence[Tuple[int, int]] | None = None,
+    ):
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if staging_depth < 1:
+            raise ValueError(f"staging_depth must be >= 1, got {staging_depth}")
+        self.lanes = lanes
+        self.staging_depth = staging_depth
+        full = tuple(template) if template is not None else _FULL_TEMPLATE
+        self.template: Tuple[Tuple[int, int], ...] = tuple(
+            (step, offset) for step, offset in full if step < staging_depth
+        )
+        if not self.template or self.template[0] != (0, 0):
+            raise ValueError("the first movement option must be the dense position (0, 0)")
+        # With few lanes the wrapped offsets can alias to the same position;
+        # a physical multiplexer has no duplicate inputs, so deduplicate
+        # while preserving priority order.
+        self._options: List[Tuple[Tuple[int, int], ...]] = []
+        for lane in range(lanes):
+            seen: set = set()
+            options: List[Tuple[int, int]] = []
+            for step, offset in self.template:
+                position = (step, (lane + offset) % lanes)
+                if position in seen:
+                    continue
+                seen.add(position)
+                options.append(position)
+            self._options.append(tuple(options))
+
+    # -- queries -----------------------------------------------------------
+    def options_for_lane(self, lane: int) -> Tuple[Tuple[int, int], ...]:
+        """Ordered ``(step, lane)`` options available to ``lane``."""
+        return self._options[lane]
+
+    @property
+    def options_per_lane(self) -> int:
+        """Number of movement options per multiplier input."""
+        return len(self.template)
+
+    def select_bits(self) -> int:
+        """Bits needed for one lane's multiplexer select signal."""
+        bits = 0
+        options = self.options_per_lane
+        while (1 << bits) < options:
+            bits += 1
+        return max(bits, 1)
+
+    def promotion_map(self) -> Dict[Tuple[int, int], List[Tuple[int, int]]]:
+        """Map each staging-buffer position to the lanes that may consume it.
+
+        Used by the decompressor (Fig. 12) and by tests that verify the
+        level groups are conflict-free.
+        """
+        reachable: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for lane in range(self.lanes):
+            for rank, position in enumerate(self._options[lane]):
+                reachable.setdefault(position, []).append((lane, rank))
+        return reachable
+
+    # -- scheduler level groups ---------------------------------------------
+    def level_groups(self) -> List[List[int]]:
+        """Partition lanes into scheduling levels with non-overlapping options.
+
+        For the default 16-lane, 8-option pattern this reproduces the
+        paper's six levels {0,5,10}, {1,6,11}, {2,7,12}, {3,8,13},
+        {4,9,14}, {15}.  For other geometries a greedy conflict-free
+        partition is computed with the same semantics: lanes within one
+        level never reach the same (step, lane) staging-buffer entry.
+        """
+        groups: List[List[int]] = []
+        assigned = [False] * self.lanes
+        for lane in range(self.lanes):
+            if assigned[lane]:
+                continue
+            group = [lane]
+            used = set(self._options[lane])
+            assigned[lane] = True
+            for candidate in range(lane + 1, self.lanes):
+                if assigned[candidate]:
+                    continue
+                candidate_options = set(self._options[candidate])
+                if used & candidate_options:
+                    continue
+                group.append(candidate)
+                used |= candidate_options
+                assigned[candidate] = True
+            groups.append(group)
+        return groups
+
+    def validate_level_groups(self, groups: Sequence[Sequence[int]]) -> bool:
+        """Check that no two lanes within any group share an option position."""
+        for group in groups:
+            seen: set = set()
+            for lane in group:
+                for position in self._options[lane]:
+                    if position in seen:
+                        return False
+                    seen.add(position)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ConnectivityPattern(lanes={self.lanes}, depth={self.staging_depth}, "
+            f"options={self.options_per_lane})"
+        )
+
+
+#: The paper's fixed level assignment for the default 16-lane configuration.
+PAPER_LEVEL_GROUPS: Tuple[Tuple[int, ...], ...] = (
+    (0, 5, 10),
+    (1, 6, 11),
+    (2, 7, 12),
+    (3, 8, 13),
+    (4, 9, 14),
+    (15,),
+)

@@ -1,0 +1,115 @@
+"""Power gating for models with little or no sparsity (Section 3.5).
+
+When a model exhibits no sparsity the TensorDash-specific components can be
+power gated and the staging buffers bypassed so that neither performance
+nor energy is penalised.  The decision can be static (the model is known to
+be dense) or dynamic: a counter per tensor at the output of each layer
+measures the fraction of zeros produced, and that measurement decides
+whether TensorDash is enabled for the *next* layer in the same pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class LayerSparsityRecord:
+    """Zero statistics of one tensor produced at a layer output."""
+
+    layer: str
+    zeros: int
+    total: int
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero values."""
+        if self.total == 0:
+            return 0.0
+        return self.zeros / self.total
+
+
+class SparsityMonitor:
+    """Per-layer zero counters modelling the hardware monitoring counters."""
+
+    def __init__(self):
+        self._records: Dict[str, LayerSparsityRecord] = {}
+
+    def observe(self, layer: str, tensor: np.ndarray) -> LayerSparsityRecord:
+        """Count zeros in a produced tensor and remember the result."""
+        tensor = np.asarray(tensor)
+        record = LayerSparsityRecord(
+            layer=layer,
+            zeros=int(np.count_nonzero(tensor == 0)),
+            total=int(tensor.size),
+        )
+        self._records[layer] = record
+        return record
+
+    def sparsity_of(self, layer: str) -> float:
+        """Most recently observed sparsity of a layer output (0.0 if unseen)."""
+        record = self._records.get(layer)
+        return record.sparsity if record is not None else 0.0
+
+    def records(self) -> List[LayerSparsityRecord]:
+        """All records in observation order."""
+        return list(self._records.values())
+
+
+class PowerGateController:
+    """Decides whether TensorDash should be enabled for a layer.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum observed sparsity for which exploiting sparsity is worth
+        the (small) energy of the schedulers and multiplexers.  The paper's
+        GCN experiment shows that ~5% layer sparsity still yields a small
+        win, so the default threshold is conservative.
+    static_disable:
+        Force the gate closed regardless of measurements (the "known dense
+        model" case).
+    """
+
+    def __init__(self, threshold: float = 0.02, static_disable: bool = False):
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        self.threshold = threshold
+        self.static_disable = static_disable
+        self.monitor = SparsityMonitor()
+        self._decisions: Dict[str, bool] = {}
+
+    def observe_output(self, layer: str, tensor: np.ndarray) -> None:
+        """Record the zero fraction of a layer's output tensor."""
+        self.monitor.observe(layer, tensor)
+
+    def should_enable(self, next_layer: str, producer_layer: Optional[str] = None) -> bool:
+        """Decide whether to enable TensorDash for ``next_layer``.
+
+        The decision uses the sparsity observed at the producing layer's
+        output (its activations or gradients feed the next layer).  When no
+        measurement exists yet the gate defaults to enabled, matching the
+        paper's "never slows down execution" evaluation setting.
+        """
+        if self.static_disable:
+            decision = False
+        elif producer_layer is None:
+            decision = True
+        else:
+            decision = self.monitor.sparsity_of(producer_layer) >= self.threshold
+        self._decisions[next_layer] = decision
+        return decision
+
+    def decisions(self) -> Dict[str, bool]:
+        """All decisions taken so far, keyed by layer."""
+        return dict(self._decisions)
+
+    def gated_fraction(self) -> float:
+        """Fraction of layers for which TensorDash was power gated."""
+        if not self._decisions:
+            return 0.0
+        disabled = sum(1 for enabled in self._decisions.values() if not enabled)
+        return disabled / len(self._decisions)

@@ -1,0 +1,300 @@
+"""The TensorDash hardware scheduler (Fig. 10).
+
+Given the zero bit-vectors of the two staging buffers, the scheduler picks,
+for each multiplier lane, one of the lane's movement options so that every
+*effectual* value pair (both operands non-zero) in the staging window is
+consumed exactly once and as many lanes as possible are kept busy.
+
+The hardware implementation is a cascade of per-lane 8-to-3 priority
+encoders arranged in six levels; lanes within a level have disjoint option
+sets so their selections can never conflict, and each level removes its
+selections from the Z vector before passing it to the next level.  The
+software model here processes lanes in the same level order, which produces
+bit-identical schedules to the combinational circuit.
+
+Two implementations are provided:
+
+* :class:`HardwareScheduler` — a direct, readable model of a single
+  scheduling step, used by the PE/tile models and by the unit tests.
+* :class:`BatchScheduler` — a numpy-vectorised equivalent that schedules
+  many independent staging windows at once, used by the cycle simulator to
+  keep full-model experiments tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.interconnect import ConnectivityPattern
+
+
+@dataclass
+class Schedule:
+    """The outcome of one scheduling step.
+
+    Attributes
+    ----------
+    selections:
+        Per lane, the selected ``(step, lane)`` staging-buffer position, or
+        ``None`` if the lane is idle this cycle.
+    select_signals:
+        Per lane, the multiplexer select value (the option's rank in the
+        lane's priority list), or ``None`` when idle.  These are the MS
+        signals of Fig. 10.
+    advance:
+        The AS signal: how many staging-buffer rows were fully drained and
+        can be refilled from the scratchpads (always at least 1 when the
+        window is non-empty).
+    busy_lanes:
+        Number of lanes that perform an effectual MAC this cycle.
+    """
+
+    selections: List[Optional[Tuple[int, int]]]
+    select_signals: List[Optional[int]]
+    advance: int
+    busy_lanes: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of lanes doing useful work this cycle."""
+        if not self.selections:
+            return 0.0
+        return self.busy_lanes / len(self.selections)
+
+
+class HardwareScheduler:
+    """Cycle-level model of the hierarchical scheduler for one PE row.
+
+    Parameters
+    ----------
+    pattern:
+        The sparse interconnect connectivity; defaults to the paper's
+        16-lane, 3-deep configuration.
+    """
+
+    def __init__(self, pattern: Optional[ConnectivityPattern] = None):
+        self.pattern = pattern or ConnectivityPattern()
+        self.level_groups = self.pattern.level_groups()
+        #: Lanes in the order the hardware levels evaluate them.
+        self.lane_order: List[int] = [
+            lane for group in self.level_groups for lane in group
+        ]
+
+    # -- single step --------------------------------------------------------
+    def schedule_step(self, effectual: np.ndarray) -> Schedule:
+        """Schedule one cycle over a staging window.
+
+        Parameters
+        ----------
+        effectual:
+            Boolean array of shape ``(staging_depth, lanes)``; ``True``
+            marks a pending effectual pair (both operands non-zero and not
+            yet consumed in a previous cycle).  This is the complement of
+            the Z vector described in the paper (Z marks ineffectual
+            pairs); the complement is used directly because it is what the
+            priority encoders consume.
+
+        Returns
+        -------
+        Schedule
+            The selections, MS signals, AS advance count and lane
+            occupancy for this cycle.
+        """
+        depth, lanes = effectual.shape
+        if depth != self.pattern.staging_depth or lanes != self.pattern.lanes:
+            raise ValueError(
+                f"expected window of shape ({self.pattern.staging_depth}, "
+                f"{self.pattern.lanes}), got {effectual.shape}"
+            )
+        remaining = effectual.copy()
+        selections: List[Optional[Tuple[int, int]]] = [None] * lanes
+        signals: List[Optional[int]] = [None] * lanes
+
+        for lane in self.lane_order:
+            for rank, (step, source_lane) in enumerate(
+                self.pattern.options_for_lane(lane)
+            ):
+                if remaining[step, source_lane]:
+                    remaining[step, source_lane] = False
+                    selections[lane] = (step, source_lane)
+                    signals[lane] = rank
+                    break
+
+        advance = self._advance_rows(remaining)
+        busy = sum(1 for s in selections if s is not None)
+        return Schedule(
+            selections=selections,
+            select_signals=signals,
+            advance=advance,
+            busy_lanes=busy,
+        )
+
+    @staticmethod
+    def _advance_rows(remaining: np.ndarray) -> int:
+        """How many leading staging rows are fully drained after this cycle.
+
+        Row +0 always drains (its effectual pairs are first priority for
+        their own lanes and no other lane can reach step +0), so the
+        advance is at least 1; it grows while subsequent rows are empty.
+        """
+        depth = remaining.shape[0]
+        advance = 0
+        for step in range(depth):
+            if remaining[step].any():
+                break
+            advance += 1
+        return max(advance, 1)
+
+    # -- stream processing ---------------------------------------------------
+    def process_stream(self, effectual_rows: np.ndarray) -> Tuple[int, List[Schedule]]:
+        """Process a whole stream of dense-schedule rows through one PE.
+
+        Parameters
+        ----------
+        effectual_rows:
+            Boolean array of shape ``(rows, lanes)``: which positions of the
+            dense schedule hold effectual pairs.
+
+        Returns
+        -------
+        (cycles, schedules):
+            Total cycles needed and the per-cycle schedules.
+        """
+        rows, lanes = effectual_rows.shape
+        if lanes != self.pattern.lanes:
+            raise ValueError(
+                f"stream has {lanes} lanes, scheduler expects {self.pattern.lanes}"
+            )
+        depth = self.pattern.staging_depth
+        pending = effectual_rows.copy()
+        schedules: List[Schedule] = []
+        position = 0
+        cycles = 0
+        while position < rows:
+            window = np.zeros((depth, lanes), dtype=bool)
+            visible = min(depth, rows - position)
+            window[:visible] = pending[position : position + visible]
+            schedule = self.schedule_step(window)
+            # Clear the consumed pairs from the pending stream.
+            for selection in schedule.selections:
+                if selection is None:
+                    continue
+                step, lane = selection
+                pending[position + step, lane] = False
+            advance = min(schedule.advance, rows - position)
+            position += advance
+            cycles += 1
+            schedules.append(schedule)
+        return cycles, schedules
+
+
+class BatchScheduler:
+    """Vectorised scheduler over many independent staging windows.
+
+    The hardware scheduler is combinational and stateless, so scheduling S
+    independent windows is embarrassingly parallel.  This class expresses
+    the per-lane priority walk as a sequence of numpy operations over the
+    batch dimension, which the cycle simulator relies on to keep large
+    workloads tractable.  Its decisions are bit-identical to
+    :class:`HardwareScheduler` (covered by a property test).
+    """
+
+    def __init__(self, pattern: Optional[ConnectivityPattern] = None):
+        self.pattern = pattern or ConnectivityPattern()
+        groups = self.pattern.level_groups()
+        self._lane_order = [lane for group in groups for lane in group]
+        # Pre-compute the option coordinates per lane for fast indexing.
+        self._options = [
+            self.pattern.options_for_lane(lane) for lane in range(self.pattern.lanes)
+        ]
+
+    def schedule(self, effectual: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Schedule a batch of windows.
+
+        Parameters
+        ----------
+        effectual:
+            Boolean array of shape ``(batch, depth, lanes)`` of pending
+            effectual pairs.
+
+        Returns
+        -------
+        (claimed, advance, busy):
+            ``claimed`` is a boolean array of the same shape marking the
+            pairs consumed this cycle; ``advance`` is the per-window AS
+            count; ``busy`` is the per-window number of busy lanes.
+        """
+        batch, depth, lanes = effectual.shape
+        if depth != self.pattern.staging_depth or lanes != self.pattern.lanes:
+            raise ValueError(
+                f"expected windows of shape (*, {self.pattern.staging_depth}, "
+                f"{self.pattern.lanes}), got {effectual.shape}"
+            )
+        remaining = effectual.copy()
+        claimed = np.zeros_like(effectual)
+        busy = np.zeros(batch, dtype=np.int64)
+
+        for lane in self._lane_order:
+            done = np.zeros(batch, dtype=bool)
+            for step, source_lane in self._options[lane]:
+                available = remaining[:, step, source_lane] & ~done
+                if not available.any():
+                    continue
+                remaining[available, step, source_lane] = False
+                claimed[available, step, source_lane] = True
+                done |= available
+            busy += done
+
+        # AS: leading fully-drained rows, at least 1.
+        row_has_pending = remaining.any(axis=2)  # (batch, depth)
+        advance = np.zeros(batch, dtype=np.int64)
+        still_clear = np.ones(batch, dtype=bool)
+        for step in range(depth):
+            still_clear &= ~row_has_pending[:, step]
+            advance += still_clear.astype(np.int64)
+        return claimed, np.maximum(advance, 1), busy
+
+    def stream_cycles(self, effectual_rows: np.ndarray) -> int:
+        """Cycles for a single stream, via the batched kernel (convenience)."""
+        return int(self.stream_cycles_batch(effectual_rows[None, :, :])[0])
+
+    def stream_cycles_batch(self, effectual_rows: np.ndarray) -> np.ndarray:
+        """Cycles for a batch of equally-long streams processed independently.
+
+        Parameters
+        ----------
+        effectual_rows:
+            Boolean array of shape ``(batch, rows, lanes)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-stream cycle counts.
+        """
+        batch, rows, lanes = effectual_rows.shape
+        depth = self.pattern.staging_depth
+        if rows == 0:
+            return np.zeros(batch, dtype=np.int64)
+        # Pad with empty rows so windows never run off the end.
+        padded = np.zeros((batch, rows + depth, lanes), dtype=bool)
+        padded[:, :rows] = effectual_rows
+        position = np.zeros(batch, dtype=np.int64)
+        cycles = np.zeros(batch, dtype=np.int64)
+        active = position < rows
+        row_index = np.arange(depth)
+        while active.any():
+            idx = np.nonzero(active)[0]
+            gather = position[idx, None] + row_index[None, :]
+            windows = padded[idx[:, None, None], gather[:, :, None], np.arange(lanes)[None, None, :]]
+            claimed, advance, _ = self.schedule(windows)
+            # Clear consumed pairs in the padded stream.
+            padded[idx[:, None, None], gather[:, :, None], np.arange(lanes)[None, None, :]] &= ~claimed
+            remaining_rows = rows - position[idx]
+            step_advance = np.minimum(advance, remaining_rows)
+            position[idx] += step_advance
+            cycles[idx] += 1
+            active = position < rows
+        return cycles

@@ -1,0 +1,91 @@
+"""Operand staging buffers (Fig. 9).
+
+Each PE operand side has a small buffer holding the next ``depth`` rows of
+the dense schedule.  The buffer produces the zero bit-vector the scheduler
+consumes and supports row-granular refill (driven by the AS signal).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class StagingBuffer:
+    """An N-deep, ``lanes``-wide staging buffer fed from an operand stream.
+
+    The buffer is a sliding window over a stream of dense-schedule rows.
+    ``window()`` exposes the current rows (zero padded past the end of the
+    stream), ``zero_vector()`` the per-position zero flags, and
+    ``advance(n)`` retires ``n`` rows, modelling the refill from the banked
+    scratchpads.
+    """
+
+    def __init__(self, stream: np.ndarray, depth: int = 3):
+        stream = np.asarray(stream)
+        if stream.ndim != 2:
+            raise ValueError(f"stream must be 2D (rows, lanes), got shape {stream.shape}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.stream = stream
+        self.depth = depth
+        self.lanes = stream.shape[1]
+        self.position = 0
+
+    @property
+    def rows(self) -> int:
+        """Total rows in the backing stream."""
+        return self.stream.shape[0]
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every row of the stream has been retired."""
+        return self.position >= self.rows
+
+    @property
+    def visible_rows(self) -> int:
+        """Number of real (non padding) rows in the current window."""
+        return max(0, min(self.depth, self.rows - self.position))
+
+    def window(self) -> np.ndarray:
+        """The current ``(depth, lanes)`` window, zero padded at the end."""
+        window = np.zeros((self.depth, self.lanes), dtype=self.stream.dtype)
+        visible = self.visible_rows
+        if visible:
+            window[:visible] = self.stream[self.position : self.position + visible]
+        return window
+
+    def zero_vector(self) -> np.ndarray:
+        """Boolean ``(depth, lanes)`` array marking zero values (the AZ/BZ signal)."""
+        return self.window() == 0
+
+    def nonzero_vector(self) -> np.ndarray:
+        """Boolean ``(depth, lanes)`` array marking non-zero values."""
+        return self.window() != 0
+
+    def value_at(self, step: int, lane: int) -> float:
+        """Read one value through the sparse interconnect."""
+        if not 0 <= step < self.depth:
+            raise IndexError(f"step {step} outside staging depth {self.depth}")
+        row = self.position + step
+        if row >= self.rows:
+            return 0.0
+        return float(self.stream[row, lane])
+
+    def advance(self, count: int) -> int:
+        """Retire ``count`` rows (the AS signal); returns rows actually retired."""
+        if count < 0:
+            raise ValueError(f"advance count must be non-negative, got {count}")
+        actual = min(count, self.rows - self.position)
+        self.position += actual
+        return actual
+
+    def reset(self) -> None:
+        """Rewind to the start of the stream."""
+        self.position = 0
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        """Iterate over the raw dense rows (baseline processing order)."""
+        for row in range(self.rows):
+            yield self.stream[row]

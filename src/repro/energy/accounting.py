@@ -1,0 +1,125 @@
+"""Energy accounting: combine cycle counts and memory traffic into the
+core / SRAM / DRAM breakdown and efficiency ratios of Figs. 15 and 16."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import AcceleratorConfig
+from repro.energy.energy_model import ComputeEnergyModel, EnergyPerAccess
+from repro.memory.traffic import MemoryTraffic
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy in picojoules split into the paper's three components."""
+
+    core_pj: float
+    sram_pj: float
+    dram_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.core_pj + self.sram_pj + self.dram_pj
+
+    def fractions(self) -> Dict[str, float]:
+        """Normalised shares of each component (the Fig. 16 stacking)."""
+        total = self.total_pj
+        if total == 0:
+            return {"core": 0.0, "sram": 0.0, "dram": 0.0}
+        return {
+            "core": self.core_pj / total,
+            "sram": self.sram_pj / total,
+            "dram": self.dram_pj / total,
+        }
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            core_pj=self.core_pj + other.core_pj,
+            sram_pj=self.sram_pj + other.sram_pj,
+            dram_pj=self.dram_pj + other.dram_pj,
+        )
+
+
+@dataclass
+class EfficiencyReport:
+    """Baseline-over-TensorDash energy ratios (higher is better for TensorDash)."""
+
+    core_efficiency: float
+    overall_efficiency: float
+    baseline: EnergyBreakdown
+    tensordash: EnergyBreakdown
+
+
+class EnergyAccountant:
+    """Turns simulation outputs into energy breakdowns and efficiency ratios."""
+
+    def __init__(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        per_access: Optional[EnergyPerAccess] = None,
+    ):
+        self.config = config or AcceleratorConfig()
+        self.compute = ComputeEnergyModel(self.config)
+        self.per_access = per_access or EnergyPerAccess()
+
+    def _memory_energy(self, traffic: MemoryTraffic) -> Dict[str, float]:
+        sram = (
+            traffic.sram_bytes * self.per_access.sram_pj_per_byte
+            + traffic.scratchpad_bytes * self.per_access.scratchpad_pj_per_byte
+        )
+        dram = traffic.dram_bytes * self.per_access.dram_pj_per_byte
+        return {"sram": sram, "dram": dram}
+
+    def baseline_energy(self, cycles: int, traffic: MemoryTraffic) -> EnergyBreakdown:
+        """Energy of the dense baseline for one operation or run."""
+        memory = self._memory_energy(traffic)
+        return EnergyBreakdown(
+            core_pj=self.compute.baseline_core_energy_pj(cycles),
+            sram_pj=memory["sram"],
+            dram_pj=memory["dram"],
+        )
+
+    def tensordash_energy(
+        self, cycles: int, traffic: MemoryTraffic, power_gated: bool = False
+    ) -> EnergyBreakdown:
+        """Energy of TensorDash for one operation or run."""
+        memory = self._memory_energy(traffic)
+        return EnergyBreakdown(
+            core_pj=self.compute.tensordash_core_energy_pj(cycles, power_gated),
+            sram_pj=memory["sram"],
+            dram_pj=memory["dram"],
+        )
+
+    def efficiency(
+        self,
+        baseline_cycles: int,
+        tensordash_cycles: int,
+        baseline_traffic: MemoryTraffic,
+        tensordash_traffic: Optional[MemoryTraffic] = None,
+        power_gated: bool = False,
+    ) -> EfficiencyReport:
+        """Core and overall efficiency of TensorDash over the baseline.
+
+        The two designs share the memory model; unless TensorDash stores
+        tensors in scheduled form its traffic equals the baseline's.
+        """
+        if tensordash_traffic is None:
+            tensordash_traffic = baseline_traffic
+        baseline = self.baseline_energy(baseline_cycles, baseline_traffic)
+        tensordash = self.tensordash_energy(
+            tensordash_cycles, tensordash_traffic, power_gated
+        )
+        core_ratio = (
+            baseline.core_pj / tensordash.core_pj if tensordash.core_pj else 1.0
+        )
+        overall_ratio = (
+            baseline.total_pj / tensordash.total_pj if tensordash.total_pj else 1.0
+        )
+        return EfficiencyReport(
+            core_efficiency=core_ratio,
+            overall_efficiency=overall_ratio,
+            baseline=baseline,
+            tensordash=tensordash,
+        )

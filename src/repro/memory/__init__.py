@@ -1,0 +1,27 @@
+"""Memory-hierarchy models: tensor layout, transposers, SRAM, DRAM, compression."""
+
+from repro.memory.layout import GroupedTensorLayout, TensorGroup
+from repro.memory.transposer import Transposer
+from repro.memory.sram import SRAMBank, BankedSRAM, Scratchpad
+from repro.memory.dram import DRAMModel
+from repro.memory.compression import (
+    CompressingDMA,
+    run_length_encode,
+    run_length_decode,
+)
+from repro.memory.traffic import TrafficCounter, MemoryTraffic
+
+__all__ = [
+    "GroupedTensorLayout",
+    "TensorGroup",
+    "Transposer",
+    "SRAMBank",
+    "BankedSRAM",
+    "Scratchpad",
+    "DRAMModel",
+    "CompressingDMA",
+    "run_length_encode",
+    "run_length_decode",
+    "TrafficCounter",
+    "MemoryTraffic",
+]

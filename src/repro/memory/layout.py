@@ -1,0 +1,154 @@
+"""The 16x16 grouped tensor layout (Section 3.4).
+
+During training every tensor is consumed in two different orders across the
+three convolutions, so no single linear layout serves all uses.  The paper
+stores tensors as groups of 16x16 values: each group is 16 consecutive
+blocks along the row dimension, each block holding 16 values contiguous
+along the channel dimension, with group origins aligned to multiples of 16
+in both dimensions.  Groups are laid out in channel, column, row order.
+Fetching a group lets a PE read any 16-value channel block in one access,
+and an on-chip transposer can serve the "transposed" view (one value from
+each of the 16 blocks) needed by the weights and the gradients in the
+backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TensorGroup:
+    """Identifies one 16x16 group inside a tensor.
+
+    ``channel_start`` and ``row_start`` are the aligned starting coordinates
+    of the group along the channel and row dimensions.
+    """
+
+    channel_start: int
+    row_start: int
+    column: int
+
+
+class GroupedTensorLayout:
+    """Maps a ``(C, H, W)`` tensor to 16x16 groups and back.
+
+    The layout is lossless: ``ungroup(group_all(x)) == x`` for any tensor,
+    including ones whose dimensions are not multiples of the group size
+    (ragged edges are zero padded inside the groups, and the padding is
+    dropped again on the way back).
+
+    Parameters
+    ----------
+    group_channels, group_rows:
+        Group extent along the channel and row dimensions; both default to
+        16 per the paper.
+    """
+
+    def __init__(self, group_channels: int = 16, group_rows: int = 16):
+        if group_channels < 1 or group_rows < 1:
+            raise ValueError("group dimensions must be positive")
+        self.group_channels = group_channels
+        self.group_rows = group_rows
+
+    # -- enumeration ---------------------------------------------------------
+    def groups_for_shape(self, shape: Tuple[int, int, int]) -> List[TensorGroup]:
+        """All groups needed to cover a ``(C, H, W)`` tensor, in layout order."""
+        channels, height, width = shape
+        groups: List[TensorGroup] = []
+        # Channel, column, row allocation order (paper Section 3.4).
+        for row_start in range(0, height, self.group_rows):
+            for column in range(width):
+                for channel_start in range(0, channels, self.group_channels):
+                    groups.append(TensorGroup(channel_start, row_start, column))
+        return groups
+
+    def group_count(self, shape: Tuple[int, int, int]) -> int:
+        """Number of groups covering a tensor of the given shape."""
+        channels, height, width = shape
+        channel_groups = -(-channels // self.group_channels)
+        row_groups = -(-height // self.group_rows)
+        return channel_groups * row_groups * width
+
+    # -- packing ---------------------------------------------------------------
+    def extract_group(self, tensor: np.ndarray, group: TensorGroup) -> np.ndarray:
+        """Read one group as a ``(group_rows, group_channels)`` block.
+
+        Block row ``r`` holds the ``group_channels`` values contiguous along
+        the channel dimension at spatial position ``(row_start + r, column)``.
+        """
+        channels, height, width = tensor.shape
+        block = np.zeros((self.group_rows, self.group_channels), dtype=tensor.dtype)
+        row_extent = min(self.group_rows, height - group.row_start)
+        channel_extent = min(self.group_channels, channels - group.channel_start)
+        for r in range(row_extent):
+            block[r, :channel_extent] = tensor[
+                group.channel_start : group.channel_start + channel_extent,
+                group.row_start + r,
+                group.column,
+            ]
+        return block
+
+    def insert_group(
+        self, tensor: np.ndarray, group: TensorGroup, block: np.ndarray
+    ) -> None:
+        """Write one ``(group_rows, group_channels)`` block back into a tensor."""
+        channels, height, width = tensor.shape
+        row_extent = min(self.group_rows, height - group.row_start)
+        channel_extent = min(self.group_channels, channels - group.channel_start)
+        for r in range(row_extent):
+            tensor[
+                group.channel_start : group.channel_start + channel_extent,
+                group.row_start + r,
+                group.column,
+            ] = block[r, :channel_extent]
+
+    def group_all(self, tensor: np.ndarray) -> np.ndarray:
+        """Pack an entire ``(C, H, W)`` tensor into its group blocks.
+
+        Returns an array of shape ``(num_groups, group_rows, group_channels)``
+        in the layout's allocation order.
+        """
+        groups = self.groups_for_shape(tensor.shape)
+        packed = np.zeros(
+            (len(groups), self.group_rows, self.group_channels), dtype=tensor.dtype
+        )
+        for index, group in enumerate(groups):
+            packed[index] = self.extract_group(tensor, group)
+        return packed
+
+    def ungroup(self, packed: np.ndarray, shape: Tuple[int, int, int]) -> np.ndarray:
+        """Rebuild a ``(C, H, W)`` tensor from its packed groups."""
+        tensor = np.zeros(shape, dtype=packed.dtype)
+        groups = self.groups_for_shape(shape)
+        if len(groups) != packed.shape[0]:
+            raise ValueError(
+                f"packed array has {packed.shape[0]} groups, shape {shape} needs {len(groups)}"
+            )
+        for index, group in enumerate(groups):
+            self.insert_group(tensor, group, packed[index])
+        return tensor
+
+    # -- access helpers ----------------------------------------------------------
+    def channel_block(self, tensor: np.ndarray, row: int, column: int, channel_start: int) -> np.ndarray:
+        """A single 16-value block contiguous along the channel dimension.
+
+        This is the access the PEs perform directly (no transposition).
+        """
+        channels = tensor.shape[0]
+        extent = min(self.group_channels, channels - channel_start)
+        block = np.zeros(self.group_channels, dtype=tensor.dtype)
+        block[:extent] = tensor[channel_start : channel_start + extent, row, column]
+        return block
+
+    def iter_channel_blocks(self, tensor: np.ndarray) -> Iterator[np.ndarray]:
+        """Iterate over every channel block of a tensor in layout order."""
+        channels, height, width = tensor.shape
+        for row_start in range(0, height, self.group_rows):
+            for column in range(width):
+                for channel_start in range(0, channels, self.group_channels):
+                    for r in range(row_start, min(row_start + self.group_rows, height)):
+                        yield self.channel_block(tensor, r, column, channel_start)

@@ -1,0 +1,138 @@
+"""On-chip SRAM models: the shared AM/BM/CM memories and the PE scratchpads.
+
+The models track capacity and access counts; energy per access comes from
+:mod:`repro.energy.energy_model` (the values CACTI would produce for the
+65 nm node the paper uses).  Banking matters for behaviour: the staging
+buffers need up to ``staging_depth`` rows per cycle, so the scratchpads are
+banked at least that deep (Table 2 uses 3 banks of 1 KB each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SRAMBank:
+    """A single SRAM bank with capacity in bytes and access counters."""
+
+    capacity_bytes: int
+    width_bytes: int = 64
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, num_accesses: int = 1) -> None:
+        """Account for ``num_accesses`` full-width reads."""
+        if num_accesses < 0:
+            raise ValueError("access count must be non-negative")
+        self.reads += num_accesses
+
+    def write(self, num_accesses: int = 1) -> None:
+        """Account for ``num_accesses`` full-width writes."""
+        if num_accesses < 0:
+            raise ValueError("access count must be non-negative")
+        self.writes += num_accesses
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes
+
+    def bytes_read(self) -> int:
+        """Total bytes read from this bank."""
+        return self.reads * self.width_bytes
+
+    def bytes_written(self) -> int:
+        """Total bytes written to this bank."""
+        return self.writes * self.width_bytes
+
+
+class BankedSRAM:
+    """A multi-bank SRAM (one of AM, BM or CM).
+
+    Accesses are striped across banks; an access of ``values`` 32-bit (or
+    16-bit) words is split into per-bank full-width accesses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        banks: int = 4,
+        kb_per_bank: int = 256,
+        width_bytes: int = 64,
+    ):
+        if banks < 1:
+            raise ValueError(f"banks must be positive, got {banks}")
+        self.name = name
+        self.width_bytes = width_bytes
+        self.banks: List[SRAMBank] = [
+            SRAMBank(capacity_bytes=kb_per_bank * 1024, width_bytes=width_bytes)
+            for _ in range(banks)
+        ]
+        self._next_bank = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity across banks."""
+        return sum(bank.capacity_bytes for bank in self.banks)
+
+    def access(self, num_bytes: int, write: bool = False) -> int:
+        """Account for a transfer of ``num_bytes``; returns accesses issued."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        accesses = -(-num_bytes // self.width_bytes) if num_bytes else 0
+        for _ in range(min(accesses, len(self.banks))):
+            bank = self.banks[self._next_bank]
+            self._next_bank = (self._next_bank + 1) % len(self.banks)
+            if write:
+                bank.write()
+            else:
+                bank.read()
+        # Remaining accesses beyond one round are spread evenly.
+        remaining = accesses - min(accesses, len(self.banks))
+        if remaining > 0:
+            per_bank, extra = divmod(remaining, len(self.banks))
+            for index, bank in enumerate(self.banks):
+                count = per_bank + (1 if index < extra else 0)
+                if write:
+                    bank.write(count)
+                else:
+                    bank.read(count)
+        return accesses
+
+    @property
+    def total_reads(self) -> int:
+        return sum(bank.reads for bank in self.banks)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(bank.writes for bank in self.banks)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.total_reads + self.total_writes
+
+
+class Scratchpad:
+    """A PE-local scratchpad (A, B or C pad), banked for staging refills."""
+
+    def __init__(self, name: str, banks: int = 3, kb_per_bank: int = 1, width_bytes: int = 64):
+        self.name = name
+        self.sram = BankedSRAM(name, banks=banks, kb_per_bank=kb_per_bank, width_bytes=width_bytes)
+
+    def refill_rows(self, rows: int, row_bytes: int) -> int:
+        """Account for refilling ``rows`` staging-buffer rows of ``row_bytes`` each."""
+        accesses = 0
+        for _ in range(rows):
+            accesses += self.sram.access(row_bytes, write=False)
+        return accesses
+
+    def spill_outputs(self, values: int, value_bytes: int) -> int:
+        """Account for writing ``values`` accumulated outputs back."""
+        return self.sram.access(values * value_bytes, write=True)
+
+    @property
+    def total_accesses(self) -> int:
+        return self.sram.total_accesses

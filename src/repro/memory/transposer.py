@@ -1,0 +1,100 @@
+"""On-chip transposers (Section 3.4).
+
+A transposer sits between the on-chip memory banks and the tile
+scratchpads.  It reads 16 blocks of 16 values each (one 16x16 group) into
+an internal buffer using 16-value-wide accesses, and can then supply the
+group transposed: a row of 16 values formed by taking the value at the same
+offset from each of the 16 blocks.  The weights and gradients need this
+during the backward pass, where the "reconstructed" filters regroup values
+across what were separate filters/channels in the forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Transposer:
+    """A single transposer with a ``group_size`` x ``group_size`` buffer."""
+
+    def __init__(self, group_size: int = 16):
+        if group_size < 1:
+            raise ValueError(f"group_size must be positive, got {group_size}")
+        self.group_size = group_size
+        self._buffer: Optional[np.ndarray] = None
+        self.loads = 0
+        self.reads = 0
+
+    @property
+    def buffer_values(self) -> int:
+        """Capacity of the internal buffer in values."""
+        return self.group_size * self.group_size
+
+    def load_group(self, group: np.ndarray) -> None:
+        """Copy one ``(group_size, group_size)`` group into the buffer.
+
+        Costs ``group_size`` 16-value-wide reads from the memory banks,
+        which the traffic counters account for.
+        """
+        group = np.asarray(group)
+        if group.shape != (self.group_size, self.group_size):
+            raise ValueError(
+                f"expected a ({self.group_size}, {self.group_size}) group, got {group.shape}"
+            )
+        self._buffer = group.copy()
+        self.loads += 1
+
+    def read_row(self, index: int) -> np.ndarray:
+        """Supply the values at offset ``index`` of every loaded block (transposed read)."""
+        if self._buffer is None:
+            raise RuntimeError("read_row() called before load_group()")
+        if not 0 <= index < self.group_size:
+            raise IndexError(f"row index {index} outside group of size {self.group_size}")
+        self.reads += 1
+        return self._buffer[:, index].copy()
+
+    def read_block(self, index: int) -> np.ndarray:
+        """Supply one original (untransposed) block; a pass-through read."""
+        if self._buffer is None:
+            raise RuntimeError("read_block() called before load_group()")
+        if not 0 <= index < self.group_size:
+            raise IndexError(f"block index {index} outside group of size {self.group_size}")
+        self.reads += 1
+        return self._buffer[index].copy()
+
+    def transpose_group(self, group: np.ndarray) -> np.ndarray:
+        """Load a group and return its full transpose (convenience)."""
+        self.load_group(group)
+        return np.stack([self.read_row(i) for i in range(self.group_size)])
+
+
+class TransposerArray:
+    """A pool of transposers sized to sustain the tiles' fetch bandwidth.
+
+    The paper provisions 15 transposers; the pool dispatches group loads
+    round-robin and reports aggregate access counts for the energy model.
+    """
+
+    def __init__(self, count: int = 15, group_size: int = 16):
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        self.transposers = [Transposer(group_size) for _ in range(count)]
+        self._next = 0
+
+    def transpose_group(self, group: np.ndarray) -> np.ndarray:
+        """Transpose one group using the next transposer round-robin."""
+        transposer = self.transposers[self._next]
+        self._next = (self._next + 1) % len(self.transposers)
+        return transposer.transpose_group(group)
+
+    @property
+    def total_loads(self) -> int:
+        """Total group loads across the pool."""
+        return sum(t.loads for t in self.transposers)
+
+    @property
+    def total_reads(self) -> int:
+        """Total row/block reads across the pool."""
+        return sum(t.reads for t in self.transposers)

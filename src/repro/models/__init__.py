@@ -1,0 +1,45 @@
+"""The model zoo: scaled-down versions of the networks the paper evaluates.
+
+The paper traces training of AlexNet, VGG16, ResNet-50, DenseNet-121,
+SqueezeNet (ImageNet classification), img2txt (scene understanding /
+captioning), SNLI (natural-language inference), two pruned-while-training
+ResNet-50 variants (DS90 and SM90) and GCN (a gated convolutional language
+model with virtually no sparsity).  Full ImageNet-scale training is not
+feasible here, so each model is reproduced at reduced width/depth while
+preserving the architectural features that determine operand sparsity:
+ReLU placement, batch-normalisation placement (DenseNet), residual
+connections (ResNet), concatenation (DenseNet/SqueezeNet), dropout
+(AlexNet/VGG) and gated linear units without ReLU (GCN).
+"""
+
+from repro.models.alexnet import build_alexnet
+from repro.models.vgg import build_vgg16
+from repro.models.resnet import build_resnet50
+from repro.models.densenet import build_densenet121
+from repro.models.squeezenet import build_squeezenet
+from repro.models.img2txt import build_img2txt
+from repro.models.snli import build_snli
+from repro.models.gcn import build_gcn
+from repro.models.registry import (
+    ModelSpec,
+    MODEL_REGISTRY,
+    build_model,
+    build_dataset,
+    available_models,
+)
+
+__all__ = [
+    "build_alexnet",
+    "build_vgg16",
+    "build_resnet50",
+    "build_densenet121",
+    "build_squeezenet",
+    "build_img2txt",
+    "build_snli",
+    "build_gcn",
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "build_model",
+    "build_dataset",
+    "available_models",
+]

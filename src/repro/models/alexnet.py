@@ -1,0 +1,78 @@
+"""Scaled AlexNet (Krizhevsky et al.) for 32x32 inputs.
+
+AlexNet's distinguishing features for sparsity purposes are plain
+conv + ReLU stacks with max pooling and a large dropout-regularised
+fully-connected head; both produce substantial activation and gradient
+sparsity, which is why AlexNet sits near the top of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Conv2D,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+
+def build_alexnet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    seed: int = 0,
+) -> Sequential:
+    """Build the scaled AlexNet.
+
+    Parameters
+    ----------
+    num_classes:
+        Output classes of the classifier head.
+    in_channels:
+        Input image channels.
+    width_multiplier:
+        Scales every channel count; 1.0 gives the default scaled model.
+    seed:
+        Seed of the weight-initialisation generator.
+    """
+    rng = np.random.default_rng(seed)
+
+    def width(base: int) -> int:
+        return max(8, int(base * width_multiplier))
+
+    return Sequential(
+        [
+            Conv2D(in_channels, width(32), kernel_size=3, stride=1, padding=1,
+                   rng=rng, name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(kernel_size=2, name="pool1"),
+            Conv2D(width(32), width(64), kernel_size=3, stride=1, padding=1,
+                   rng=rng, name="conv2"),
+            ReLU(name="relu2"),
+            MaxPool2D(kernel_size=2, name="pool2"),
+            Conv2D(width(64), width(96), kernel_size=3, stride=1, padding=1,
+                   rng=rng, name="conv3"),
+            ReLU(name="relu3"),
+            Conv2D(width(96), width(96), kernel_size=3, stride=1, padding=1,
+                   rng=rng, name="conv4"),
+            ReLU(name="relu4"),
+            Conv2D(width(96), width(64), kernel_size=3, stride=1, padding=1,
+                   rng=rng, name="conv5"),
+            ReLU(name="relu5"),
+            MaxPool2D(kernel_size=2, name="pool3"),
+            Flatten(name="flatten"),
+            Dropout(p=0.5, rng=rng, name="drop1"),
+            Linear(width(64) * 4 * 4, width(256), rng=rng, name="fc6"),
+            ReLU(name="relu6"),
+            Dropout(p=0.5, rng=rng, name="drop2"),
+            Linear(width(256), width(128), rng=rng, name="fc7"),
+            ReLU(name="relu7"),
+            Linear(width(128), num_classes, rng=rng, name="fc8"),
+        ],
+        name="alexnet",
+    )

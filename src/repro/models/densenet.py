@@ -1,0 +1,106 @@
+"""Scaled DenseNet-121 (Huang et al.) for 32x32 inputs.
+
+DenseNet's defining features are dense blocks (each layer's output is
+concatenated onto the running feature map) and a BN -> ReLU -> Conv
+ordering with batch normalisation between every convolution and the next
+ReLU.  The paper singles this structure out: the BN layer between a
+convolution and the subsequent ReLU "absorbs" gradient sparsity, which is
+why DenseNet-121's W*G speedup in Fig. 13 is negligible and its overall
+potential in Fig. 1 is the lowest of the zoo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    Flatten,
+    GlobalAvgPool2D,
+    Linear,
+    ReLU,
+)
+from repro.nn.model import Graph
+
+
+#: Dense block structure: layers per block.  DenseNet-121 uses (6, 12, 24,
+#: 16); scaled to keep forward/backward cheap while preserving the growth
+#: pattern.
+_DENSE_BLOCKS = (3, 4, 4)
+_GROWTH_RATE = 12
+
+
+def _add_dense_layer(
+    graph: Graph,
+    input_name: str,
+    in_channels: int,
+    growth_rate: int,
+    prefix: str,
+    rng: np.random.Generator,
+) -> str:
+    """BN -> ReLU -> 3x3 Conv producing ``growth_rate`` channels."""
+    graph.add_node(f"{prefix}_bn", BatchNorm2D(in_channels, name=f"{prefix}_bn"),
+                   [input_name])
+    graph.add_node(f"{prefix}_relu", ReLU(name=f"{prefix}_relu"), [f"{prefix}_bn"])
+    graph.add_node(f"{prefix}_conv",
+                   Conv2D(in_channels, growth_rate, 3, stride=1, padding=1, rng=rng,
+                          name=f"{prefix}_conv"),
+                   [f"{prefix}_relu"])
+    return f"{prefix}_conv"
+
+
+def build_densenet121(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    growth_rate: int = _GROWTH_RATE,
+    seed: int = 0,
+) -> Graph:
+    """Build the scaled DenseNet-121 as a DAG of dense blocks and transitions."""
+    rng = np.random.default_rng(seed)
+    graph = Graph(output="logits", name="densenet121")
+
+    stem_width = 2 * growth_rate
+    graph.add_node("stem_conv",
+                   Conv2D(in_channels, stem_width, 3, stride=1, padding=1, rng=rng,
+                          name="stem_conv"),
+                   [Graph.INPUT])
+    current = "stem_conv"
+    channels = stem_width
+
+    for block_index, num_layers in enumerate(_DENSE_BLOCKS):
+        for layer_index in range(num_layers):
+            prefix = f"block{block_index + 1}_layer{layer_index + 1}"
+            new_features = _add_dense_layer(
+                graph, current, channels, growth_rate, prefix, rng
+            )
+            concat_name = f"{prefix}_concat"
+            graph.add_node(concat_name, Concat(axis=1, name=concat_name),
+                           [current, new_features])
+            current = concat_name
+            channels += growth_rate
+
+        if block_index != len(_DENSE_BLOCKS) - 1:
+            # Transition layer: BN -> ReLU -> 1x1 conv (halve channels) -> avg pool.
+            prefix = f"transition{block_index + 1}"
+            out_channels = channels // 2
+            graph.add_node(f"{prefix}_bn", BatchNorm2D(channels, name=f"{prefix}_bn"),
+                           [current])
+            graph.add_node(f"{prefix}_relu", ReLU(name=f"{prefix}_relu"),
+                           [f"{prefix}_bn"])
+            graph.add_node(f"{prefix}_conv",
+                           Conv2D(channels, out_channels, 1, stride=1, padding=0,
+                                  rng=rng, name=f"{prefix}_conv"),
+                           [f"{prefix}_relu"])
+            graph.add_node(f"{prefix}_pool", AvgPool2D(kernel_size=2, name=f"{prefix}_pool"),
+                           [f"{prefix}_conv"])
+            current = f"{prefix}_pool"
+            channels = out_channels
+
+    graph.add_node("final_bn", BatchNorm2D(channels, name="final_bn"), [current])
+    graph.add_node("final_relu", ReLU(name="final_relu"), ["final_bn"])
+    graph.add_node("gap", GlobalAvgPool2D(name="gap"), ["final_relu"])
+    graph.add_node("logits", Linear(channels, num_classes, rng=rng, name="fc"), ["gap"])
+    return graph

@@ -1,0 +1,57 @@
+"""Scaled img2txt (Show-and-Tell style captioning) stand-in.
+
+The paper's img2txt workload (Vinyals et al.) is a CNN encoder followed by
+an LSTM decoder.  This stand-in keeps the compute profile that matters to
+the accelerator: a small convolutional encoder producing image features,
+followed by a large fully-connected decoder stack (which is where an LSTM's
+matmuls live) with ReLU nonlinearities.  Sparsity therefore appears both in
+the convolutional activations/gradients and in the decoder matmuls, which
+is the behaviour Fig. 13 shows for img2txt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Conv2D,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+
+def build_img2txt(
+    vocab_size: int = 256,
+    in_channels: int = 3,
+    feature_dim: int = 128,
+    seed: int = 0,
+) -> Sequential:
+    """Build the img2txt stand-in: conv encoder + FC decoder over the vocabulary."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            # Encoder: a compact CNN producing an image embedding.
+            Conv2D(in_channels, 24, 3, stride=1, padding=1, rng=rng, name="enc_conv1"),
+            ReLU(name="enc_relu1"),
+            MaxPool2D(2, name="enc_pool1"),
+            Conv2D(24, 48, 3, stride=1, padding=1, rng=rng, name="enc_conv2"),
+            ReLU(name="enc_relu2"),
+            MaxPool2D(2, name="enc_pool2"),
+            Conv2D(48, 64, 3, stride=1, padding=1, rng=rng, name="enc_conv3"),
+            ReLU(name="enc_relu3"),
+            MaxPool2D(2, name="enc_pool3"),
+            Flatten(name="enc_flatten"),
+            Linear(64 * 4 * 4, feature_dim, rng=rng, name="enc_fc"),
+            ReLU(name="enc_fc_relu"),
+            # Decoder: the recurrent decoder's matmul stack, unrolled.
+            Linear(feature_dim, 2 * feature_dim, rng=rng, name="dec_fc1"),
+            ReLU(name="dec_relu1"),
+            Linear(2 * feature_dim, 2 * feature_dim, rng=rng, name="dec_fc2"),
+            ReLU(name="dec_relu2"),
+            Linear(2 * feature_dim, vocab_size, rng=rng, name="dec_logits"),
+        ],
+        name="img2txt",
+    )

@@ -1,0 +1,118 @@
+"""Scaled SNLI natural-language-inference model.
+
+The paper's SNLI workload encodes a premise and a hypothesis and classifies
+their relation (entailment / contradiction / neutral).  The stand-in embeds
+a concatenated token sequence, encodes each position with a shared
+fully-connected ReLU encoder, mean-pools over positions and classifies with
+an MLP — the compute is dominated by FC matmuls whose activations and
+gradients carry ReLU sparsity, matching the profile the paper traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import Embedding, Linear, ReLU
+from repro.nn.module import Module
+
+
+class _MeanOverTokens(Module):
+    """Average token representations over the sequence dimension."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._length: int = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # x: (batch, tokens, features)
+        self._length = x.shape[1]
+        return x.mean(axis=1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out[:, None, :] / self._length
+        return np.repeat(grad, self._length, axis=1)
+
+
+class SNLIModel(Module):
+    """Embedding + token encoder + pooled classifier."""
+
+    def __init__(
+        self,
+        vocab_size: int = 512,
+        embedding_dim: int = 64,
+        hidden_dim: int = 128,
+        num_classes: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__(name="snli")
+        rng = np.random.default_rng(seed)
+        self.embedding = self.register_module(
+            "embedding", Embedding(vocab_size, embedding_dim, rng=rng, name="embedding")
+        )
+        self.encoder_fc1 = self.register_module(
+            "encoder_fc1", Linear(embedding_dim, hidden_dim, rng=rng, name="encoder_fc1")
+        )
+        self.encoder_relu1 = self.register_module("encoder_relu1", ReLU(name="encoder_relu1"))
+        self.encoder_fc2 = self.register_module(
+            "encoder_fc2", Linear(hidden_dim, hidden_dim, rng=rng, name="encoder_fc2")
+        )
+        self.encoder_relu2 = self.register_module("encoder_relu2", ReLU(name="encoder_relu2"))
+        self.pool = self.register_module("pool", _MeanOverTokens(name="pool"))
+        self.classifier_fc1 = self.register_module(
+            "classifier_fc1", Linear(hidden_dim, hidden_dim, rng=rng, name="classifier_fc1")
+        )
+        self.classifier_relu = self.register_module(
+            "classifier_relu", ReLU(name="classifier_relu")
+        )
+        self.classifier_fc2 = self.register_module(
+            "classifier_fc2", Linear(hidden_dim, num_classes, rng=rng, name="classifier_fc2")
+        )
+        self._token_shape: Optional[tuple] = None
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        # tokens: (batch, sequence) integer ids.
+        batch, sequence = tokens.shape
+        self._token_shape = (batch, sequence)
+        embedded = self.embedding(tokens)                     # (batch, seq, emb)
+        flat = embedded.reshape(batch * sequence, -1)
+        encoded = self.encoder_relu1(self.encoder_fc1(flat))
+        encoded = self.encoder_relu2(self.encoder_fc2(encoded))
+        encoded = encoded.reshape(batch, sequence, -1)
+        pooled = self.pool(encoded)
+        hidden = self.classifier_relu(self.classifier_fc1(pooled))
+        return self.classifier_fc2(hidden)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._token_shape is None:
+            raise RuntimeError("backward() called before forward()")
+        batch, sequence = self._token_shape
+        grad = self.classifier_fc2.backward(grad_out)
+        grad = self.classifier_relu.backward(grad)
+        grad = self.classifier_fc1.backward(grad)
+        grad = self.pool.backward(grad)
+        grad = grad.reshape(batch * sequence, -1)
+        grad = self.encoder_relu2.backward(grad)
+        grad = self.encoder_fc2.backward(grad)
+        grad = self.encoder_relu1.backward(grad)
+        grad = self.encoder_fc1.backward(grad)
+        grad = grad.reshape(batch, sequence, -1)
+        return self.embedding.backward(grad)
+
+
+def build_snli(
+    vocab_size: int = 512,
+    embedding_dim: int = 64,
+    hidden_dim: int = 128,
+    num_classes: int = 3,
+    seed: int = 0,
+) -> SNLIModel:
+    """Build the scaled SNLI model."""
+    return SNLIModel(
+        vocab_size=vocab_size,
+        embedding_dim=embedding_dim,
+        hidden_dim=hidden_dim,
+        num_classes=num_classes,
+        seed=seed,
+    )

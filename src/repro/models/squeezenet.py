@@ -1,0 +1,94 @@
+"""Scaled SqueezeNet (Iandola et al.) for 32x32 inputs.
+
+SqueezeNet's fire modules (a 1x1 "squeeze" convolution followed by parallel
+1x1 and 3x3 "expand" convolutions whose outputs are concatenated) are kept.
+SqueezeNet is already heavily optimised for parameter count, yet the paper
+still measures a better-than-2x potential speedup for it in Fig. 1 — the
+fire modules' ReLUs keep producing activation sparsity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Concat, Conv2D, GlobalAvgPool2D, Linear, MaxPool2D, ReLU
+from repro.nn.model import Graph
+
+
+def _add_fire_module(
+    graph: Graph,
+    input_name: str,
+    in_channels: int,
+    squeeze: int,
+    expand: int,
+    prefix: str,
+    rng: np.random.Generator,
+) -> tuple:
+    """Append one fire module; returns (output node name, output channels)."""
+    graph.add_node(f"{prefix}_squeeze",
+                   Conv2D(in_channels, squeeze, 1, rng=rng, name=f"{prefix}_squeeze"),
+                   [input_name])
+    graph.add_node(f"{prefix}_squeeze_relu", ReLU(name=f"{prefix}_squeeze_relu"),
+                   [f"{prefix}_squeeze"])
+    graph.add_node(f"{prefix}_expand1",
+                   Conv2D(squeeze, expand, 1, rng=rng, name=f"{prefix}_expand1"),
+                   [f"{prefix}_squeeze_relu"])
+    graph.add_node(f"{prefix}_expand1_relu", ReLU(name=f"{prefix}_expand1_relu"),
+                   [f"{prefix}_expand1"])
+    graph.add_node(f"{prefix}_expand3",
+                   Conv2D(squeeze, expand, 3, padding=1, rng=rng, name=f"{prefix}_expand3"),
+                   [f"{prefix}_squeeze_relu"])
+    graph.add_node(f"{prefix}_expand3_relu", ReLU(name=f"{prefix}_expand3_relu"),
+                   [f"{prefix}_expand3"])
+    graph.add_node(f"{prefix}_concat", Concat(axis=1, name=f"{prefix}_concat"),
+                   [f"{prefix}_expand1_relu", f"{prefix}_expand3_relu"])
+    return f"{prefix}_concat", 2 * expand
+
+
+def build_squeezenet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    seed: int = 0,
+) -> Graph:
+    """Build the scaled SqueezeNet out of fire modules."""
+    rng = np.random.default_rng(seed)
+    graph = Graph(output="logits", name="squeezenet")
+
+    def width(base: int) -> int:
+        return max(4, int(base * width_multiplier))
+
+    stem = width(32)
+    graph.add_node("stem_conv",
+                   Conv2D(in_channels, stem, 3, stride=1, padding=1, rng=rng,
+                          name="stem_conv"),
+                   [Graph.INPUT])
+    graph.add_node("stem_relu", ReLU(name="stem_relu"), ["stem_conv"])
+    graph.add_node("stem_pool", MaxPool2D(2, name="stem_pool"), ["stem_relu"])
+
+    current, channels = _add_fire_module(
+        graph, "stem_pool", stem, width(8), width(16), "fire2", rng
+    )
+    current, channels = _add_fire_module(
+        graph, current, channels, width(8), width(16), "fire3", rng
+    )
+    graph.add_node("pool3", MaxPool2D(2, name="pool3"), [current])
+    current, channels = _add_fire_module(
+        graph, "pool3", channels, width(12), width(24), "fire4", rng
+    )
+    current, channels = _add_fire_module(
+        graph, current, channels, width(12), width(24), "fire5", rng
+    )
+    graph.add_node("pool5", MaxPool2D(2, name="pool5"), [current])
+    current, channels = _add_fire_module(
+        graph, "pool5", channels, width(16), width(32), "fire6", rng
+    )
+
+    # Classifier: 1x1 conv to class channels, then global average pooling.
+    graph.add_node("classifier_conv",
+                   Conv2D(channels, num_classes, 1, rng=rng, name="classifier_conv"),
+                   [current])
+    graph.add_node("classifier_relu", ReLU(name="classifier_relu"), ["classifier_conv"])
+    graph.add_node("gap", GlobalAvgPool2D(name="gap"), ["classifier_relu"])
+    graph.add_node("logits", Linear(num_classes, num_classes, rng=rng, name="fc"), ["gap"])
+    return graph

@@ -1,0 +1,74 @@
+"""Scaled VGG-16 (Simonyan & Zisserman) for 32x32 inputs.
+
+VGG's homogeneous 3x3 conv + ReLU stacks with pooling after each block are
+preserved; the channel counts are scaled down so the model trains on a CPU
+while producing the same layer-by-layer sparsity structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn import (
+    Conv2D,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+#: Block structure of VGG-16: (number of convs, base output channels).
+_VGG16_BLOCKS = ((2, 16), (2, 32), (3, 64), (3, 96), (3, 96))
+
+
+def build_vgg16(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width_multiplier: float = 1.0,
+    seed: int = 0,
+) -> Sequential:
+    """Build the scaled VGG-16 with its characteristic conv blocks."""
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = []
+    channels = in_channels
+    spatial = 32
+    for block_index, (convs, base_width) in enumerate(_VGG16_BLOCKS):
+        width = max(8, int(base_width * width_multiplier))
+        for conv_index in range(convs):
+            layers.append(
+                Conv2D(
+                    channels,
+                    width,
+                    kernel_size=3,
+                    stride=1,
+                    padding=1,
+                    rng=rng,
+                    name=f"block{block_index + 1}_conv{conv_index + 1}",
+                )
+            )
+            layers.append(ReLU(name=f"block{block_index + 1}_relu{conv_index + 1}"))
+            channels = width
+        # VGG pools after every block; stop pooling once the map is tiny.
+        if spatial > 2:
+            layers.append(MaxPool2D(kernel_size=2, name=f"pool{block_index + 1}"))
+            spatial //= 2
+
+    layers.extend(
+        [
+            Flatten(name="flatten"),
+            Linear(channels * spatial * spatial, max(64, int(256 * width_multiplier)),
+                   rng=rng, name="fc1"),
+            ReLU(name="fc_relu1"),
+            Dropout(p=0.5, rng=rng, name="fc_drop1"),
+            Linear(max(64, int(256 * width_multiplier)),
+                   max(32, int(128 * width_multiplier)), rng=rng, name="fc2"),
+            ReLU(name="fc_relu2"),
+            Linear(max(32, int(128 * width_multiplier)), num_classes, rng=rng, name="fc3"),
+        ]
+    )
+    return Sequential(layers, name="vgg16")

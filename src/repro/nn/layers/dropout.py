@@ -1,0 +1,44 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Randomly zero a fraction of the input during training.
+
+    Dropout is itself a source of activation/gradient sparsity, which is why
+    AlexNet and VGG (both of which use it in their classifier heads) show
+    extra sparsity in the paper's Fig. 1.
+    """
+
+    def __init__(
+        self,
+        p: float = 0.5,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name=name)
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

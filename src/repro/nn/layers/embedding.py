@@ -1,0 +1,50 @@
+"""Token embedding layer used by the language/captioning workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name=name)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = rng or init.default_rng(0)
+        weight = rng.normal(0.0, 0.1, size=(num_embeddings, embedding_dim)).astype(
+            np.float32
+        )
+        self.weight = self.register_parameter(
+            "weight", Parameter(weight, name=f"{self.name}.weight")
+        )
+        self._indices: Optional[np.ndarray] = None
+
+    def forward(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        self._indices = indices
+        return self.weight.data[indices]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._indices is None:
+            raise RuntimeError("backward() called before forward()")
+        grad_weight = np.zeros_like(self.weight.data)
+        np.add.at(grad_weight, self._indices.reshape(-1), grad_out.reshape(-1, self.embedding_dim))
+        self.weight.accumulate_grad(grad_weight)
+        # Token ids have no gradient; return zeros of the index shape for API symmetry.
+        return np.zeros(self._indices.shape, dtype=np.float32)
+
+    def trace_operands(self) -> Dict[str, np.ndarray]:
+        return {"weights": self.weight.data}

@@ -1,0 +1,75 @@
+"""Fully-connected layer with operand tracing."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """A fully-connected layer ``O = A W^T + b`` (paper Eq. 5)."""
+
+    traceable = True
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name=name)
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or init.default_rng(0)
+
+        weight = init.kaiming_normal((out_features, in_features), in_features, rng)
+        self.weight = self.register_parameter(
+            "weight", Parameter(weight, name=f"{self.name}.weight")
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = self.register_parameter(
+                "bias", Parameter(init.zeros((out_features,)), name=f"{self.name}.bias")
+            )
+
+        self._input: Optional[np.ndarray] = None
+        self._grad_out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        bias = self.bias.data if self.bias is not None else None
+        return F.linear_forward(x, self.weight.data, bias)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward() called before forward()")
+        self._grad_out = grad_out
+        grad_input, grad_weight, grad_bias = F.linear_backward(
+            grad_out, self._input, self.weight.data
+        )
+        self.weight.accumulate_grad(grad_weight)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_bias)
+        return grad_input
+
+    def trace_operands(self) -> Dict[str, np.ndarray]:
+        operands: Dict[str, np.ndarray] = {"weights": self.weight.data}
+        if self._input is not None:
+            operands["activations"] = self._input
+        if self._grad_out is not None:
+            operands["output_gradients"] = self._grad_out
+        return operands
+
+    def macs_per_sample(self) -> int:
+        """Number of MAC operations in the forward pass of one sample."""
+        return self.in_features * self.out_features
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Linear({self.in_features}, {self.out_features})"

@@ -1,0 +1,73 @@
+"""Pooling layers (max, average, global average)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class MaxPool2D(Module):
+    """Max pooling over square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, name=None):
+        super().__init__(name=name)
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, argmax = F.max_pool2d_forward(x, self.kernel_size, self.stride)
+        self._cache = (argmax, x.shape)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        argmax, x_shape = self._cache
+        return F.max_pool2d_backward(
+            grad_out, argmax, x_shape, self.kernel_size, self.stride
+        )
+
+
+class AvgPool2D(Module):
+    """Average pooling over square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, name=None):
+        super().__init__(name=name)
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._x_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return F.avg_pool2d_forward(x, self.kernel_size, self.stride)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward() called before forward()")
+        return F.avg_pool2d_backward(
+            grad_out, self._x_shape, self.kernel_size, self.stride
+        )
+
+
+class GlobalAvgPool2D(Module):
+    """Average over the entire spatial extent, producing ``(N, C)``."""
+
+    def __init__(self, name=None):
+        super().__init__(name=name)
+        self._x_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward() called before forward()")
+        n, c, h, w = self._x_shape
+        grad = grad_out.reshape(n, c, 1, 1) / (h * w)
+        return np.broadcast_to(grad, self._x_shape).astype(grad_out.dtype, copy=True)

@@ -1,0 +1,202 @@
+"""Recurrent cells (LSTM, GRU, vanilla RNN).
+
+The img2txt and SNLI workloads in the paper are recurrent/sequence models;
+these cells give the trace collector realistic fully-connected operand
+streams for those applications.  Each cell's matmuls are built from
+:class:`repro.nn.layers.linear.Linear`, so they are automatically traceable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers.linear import Linear
+from repro.nn.module import Module
+
+
+class RNNCell(Module):
+    """A vanilla tanh RNN cell: ``h' = tanh(W_x x + W_h h)``."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name=name)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.input_proj = self.register_module(
+            "input_proj", Linear(input_size, hidden_size, rng=rng, name=f"{self.name}.ih")
+        )
+        self.hidden_proj = self.register_module(
+            "hidden_proj",
+            Linear(hidden_size, hidden_size, bias=False, rng=rng, name=f"{self.name}.hh"),
+        )
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        pre = self.input_proj(x) + self.hidden_proj(h)
+        h_new = np.tanh(pre)
+        self._cache = (h_new,)
+        return h_new
+
+    def backward(self, grad_h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        (h_new,) = self._cache
+        grad_pre = grad_h * (1.0 - h_new * h_new)
+        grad_x = self.input_proj.backward(grad_pre)
+        grad_h_prev = self.hidden_proj.backward(grad_pre)
+        return grad_x, grad_h_prev
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell with combined gate projections."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name=name)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.input_proj = self.register_module(
+            "input_proj",
+            Linear(input_size, 4 * hidden_size, rng=rng, name=f"{self.name}.ih"),
+        )
+        self.hidden_proj = self.register_module(
+            "hidden_proj",
+            Linear(hidden_size, 4 * hidden_size, bias=False, rng=rng, name=f"{self.name}.hh"),
+        )
+        self._cache: Optional[tuple] = None
+
+    def forward(
+        self, x: np.ndarray, state: Tuple[np.ndarray, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        h_prev, c_prev = state
+        gates = self.input_proj(x) + self.hidden_proj(h_prev)
+        hs = self.hidden_size
+        i = F.sigmoid(gates[:, 0 * hs : 1 * hs])
+        f = F.sigmoid(gates[:, 1 * hs : 2 * hs])
+        g = np.tanh(gates[:, 2 * hs : 3 * hs])
+        o = F.sigmoid(gates[:, 3 * hs : 4 * hs])
+        c_new = f * c_prev + i * g
+        h_new = o * np.tanh(c_new)
+        self._cache = (i, f, g, o, c_prev, c_new)
+        return h_new, c_new
+
+    def backward(
+        self, grad_h: np.ndarray, grad_c: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Back-propagate through one step; returns (grad_x, grad_h_prev, grad_c_prev)."""
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        i, f, g, o, c_prev, c_new = self._cache
+        if grad_c is None:
+            grad_c = np.zeros_like(grad_h)
+
+        tanh_c = np.tanh(c_new)
+        grad_o = grad_h * tanh_c
+        grad_c_total = grad_c + grad_h * o * (1.0 - tanh_c * tanh_c)
+        grad_i = grad_c_total * g
+        grad_f = grad_c_total * c_prev
+        grad_g = grad_c_total * i
+        grad_c_prev = grad_c_total * f
+
+        grad_gates = np.concatenate(
+            [
+                grad_i * i * (1.0 - i),
+                grad_f * f * (1.0 - f),
+                grad_g * (1.0 - g * g),
+                grad_o * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        grad_x = self.input_proj.backward(grad_gates)
+        grad_h_prev = self.hidden_proj.backward(grad_gates)
+        return grad_x, grad_h_prev, grad_c_prev
+
+    def initial_state(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero hidden and cell state for a new sequence."""
+        shape = (batch_size, self.hidden_size)
+        return np.zeros(shape, dtype=np.float32), np.zeros(shape, dtype=np.float32)
+
+
+class GRUCell(Module):
+    """A gated recurrent unit cell."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        name: Optional[str] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(name=name)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.input_proj = self.register_module(
+            "input_proj",
+            Linear(input_size, 3 * hidden_size, rng=rng, name=f"{self.name}.ih"),
+        )
+        self.hidden_proj = self.register_module(
+            "hidden_proj",
+            Linear(hidden_size, 3 * hidden_size, bias=False, rng=rng, name=f"{self.name}.hh"),
+        )
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray, h_prev: np.ndarray) -> np.ndarray:
+        hs = self.hidden_size
+        gates_x = self.input_proj(x)
+        gates_h = self.hidden_proj(h_prev)
+        r = F.sigmoid(gates_x[:, :hs] + gates_h[:, :hs])
+        z = F.sigmoid(gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs])
+        n = np.tanh(gates_x[:, 2 * hs :] + r * gates_h[:, 2 * hs :])
+        h_new = (1.0 - z) * n + z * h_prev
+        self._cache = (r, z, n, h_prev, gates_h[:, 2 * hs :])
+        return h_new
+
+    def backward(self, grad_h: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward() called before forward()")
+        r, z, n, h_prev, gates_h_n = self._cache
+        hs = self.hidden_size
+
+        grad_n = grad_h * (1.0 - z)
+        grad_z = grad_h * (h_prev - n)
+        grad_h_prev_direct = grad_h * z
+
+        grad_n_pre = grad_n * (1.0 - n * n)
+        grad_r = grad_n_pre * gates_h_n
+
+        grad_gates_x = np.concatenate(
+            [
+                grad_r * r * (1.0 - r),
+                grad_z * z * (1.0 - z),
+                grad_n_pre,
+            ],
+            axis=1,
+        )
+        grad_gates_h = np.concatenate(
+            [
+                grad_r * r * (1.0 - r),
+                grad_z * z * (1.0 - z),
+                grad_n_pre * r,
+            ],
+            axis=1,
+        )
+        grad_x = self.input_proj.backward(grad_gates_x)
+        grad_h_prev = self.hidden_proj.backward(grad_gates_h) + grad_h_prev_direct
+        return grad_x, grad_h_prev
+
+    def initial_state(self, batch_size: int) -> np.ndarray:
+        """Zero hidden state for a new sequence."""
+        return np.zeros((batch_size, self.hidden_size), dtype=np.float32)

@@ -1,0 +1,69 @@
+"""Shape-manipulation and merge layers (flatten, concat, residual add)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Flatten all dimensions except the batch dimension."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._input_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward() called before forward()")
+        return grad_out.reshape(self._input_shape)
+
+
+class Concat(Module):
+    """Concatenate multiple inputs along the channel dimension.
+
+    DenseNet blocks use this to stack each layer's output onto the running
+    feature map.
+    """
+
+    def __init__(self, axis: int = 1, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.axis = axis
+        self._split_sizes: Optional[List[int]] = None
+
+    def forward(self, *inputs: np.ndarray) -> np.ndarray:
+        self._split_sizes = [inp.shape[self.axis] for inp in inputs]
+        return np.concatenate(inputs, axis=self.axis)
+
+    def backward(self, grad_out: np.ndarray) -> List[np.ndarray]:
+        if self._split_sizes is None:
+            raise RuntimeError("backward() called before forward()")
+        boundaries = np.cumsum(self._split_sizes)[:-1]
+        return list(np.split(grad_out, boundaries, axis=self.axis))
+
+
+class Add(Module):
+    """Element-wise sum of multiple inputs (residual connections)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._num_inputs: int = 0
+
+    def forward(self, *inputs: np.ndarray) -> np.ndarray:
+        self._num_inputs = len(inputs)
+        out = inputs[0].copy()
+        for inp in inputs[1:]:
+            out = out + inp
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> List[np.ndarray]:
+        if self._num_inputs == 0:
+            raise RuntimeError("backward() called before forward()")
+        return [grad_out for _ in range(self._num_inputs)]

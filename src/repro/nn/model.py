@@ -1,0 +1,124 @@
+"""Model containers: :class:`Sequential` chains and a small DAG :class:`Graph`.
+
+``Sequential`` covers chain-structured networks (AlexNet, VGG, SqueezeNet's
+trunk).  ``Graph`` covers networks with skip connections and concatenations
+(ResNet, DenseNet) by executing nodes in a declared topological order and
+accumulating gradients along the reverse edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """A chain of layers executed in order."""
+
+    def __init__(self, layers: Sequence[Module], name: Optional[str] = None):
+        super().__init__(name=name)
+        self.layers: List[Module] = list(layers)
+        for index, layer in enumerate(self.layers):
+            self.register_module(f"layer{index}", layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def append(self, layer: Module) -> None:
+        """Add a layer at the end of the chain."""
+        self.register_module(f"layer{len(self.layers)}", layer)
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class GraphNode:
+    """One node of a :class:`Graph`: a module plus the names of its inputs."""
+
+    def __init__(self, name: str, module: Module, inputs: Sequence[str]):
+        self.name = name
+        self.module = module
+        self.inputs = list(inputs)
+
+
+class Graph(Module):
+    """A DAG of modules with named tensors.
+
+    Nodes must be added in topological order.  The reserved tensor name
+    ``"input"`` refers to the graph input; the output tensor is whichever
+    node name is passed as ``output``.
+    """
+
+    INPUT = "input"
+
+    def __init__(self, output: str, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.output = output
+        self.nodes: List[GraphNode] = []
+        self._values: Dict[str, np.ndarray] = {}
+
+    def add_node(self, name: str, module: Module, inputs: Sequence[str]) -> Module:
+        """Register ``module`` as node ``name`` reading the named ``inputs``."""
+        if name == self.INPUT:
+            raise ValueError('"input" is reserved for the graph input tensor')
+        if any(node.name == name for node in self.nodes):
+            raise ValueError(f"duplicate node name {name!r}")
+        known = {self.INPUT} | {node.name for node in self.nodes}
+        for inp in inputs:
+            if inp not in known:
+                raise ValueError(
+                    f"node {name!r} reads {inp!r} before it is defined "
+                    "(nodes must be added in topological order)"
+                )
+        self.nodes.append(GraphNode(name, module, inputs))
+        self.register_module(name, module)
+        return module
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._values = {self.INPUT: x}
+        for node in self.nodes:
+            inputs = [self._values[name] for name in node.inputs]
+            self._values[node.name] = node.module(*inputs)
+        return self._values[self.output]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self._values:
+            raise RuntimeError("backward() called before forward()")
+        grads: Dict[str, np.ndarray] = {self.output: grad_out}
+        for node in reversed(self.nodes):
+            grad = grads.pop(node.name, None)
+            if grad is None:
+                # The node's output was never used downstream of the loss.
+                continue
+            input_grads = node.module.backward(grad)
+            if not isinstance(input_grads, (list, tuple)):
+                input_grads = [input_grads]
+            if len(input_grads) != len(node.inputs):
+                raise RuntimeError(
+                    f"node {node.name!r} returned {len(input_grads)} gradients "
+                    f"for {len(node.inputs)} inputs"
+                )
+            for input_name, input_grad in zip(node.inputs, input_grads):
+                if input_name in grads:
+                    grads[input_name] = grads[input_name] + input_grad
+                else:
+                    grads[input_name] = input_grad
+        return grads.get(self.INPUT, np.zeros_like(self._values[self.INPUT]))
+
+    def node_names(self) -> List[str]:
+        """Names of all nodes in execution order."""
+        return [node.name for node in self.nodes]

@@ -1,0 +1,159 @@
+"""Base classes for layers: :class:`Parameter` and :class:`Module`.
+
+A :class:`Module` is a layer with a ``forward``/``backward`` pair.  Layers
+whose math is one of the paper's three training convolutions additionally
+expose a ``trace_operands()`` method that returns the raw operand tensors
+(W, A, GO) so the tracing machinery can measure their sparsity without
+knowing layer internals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter value.
+    grad:
+        The accumulated gradient, or ``None`` before the first backward pass.
+    name:
+        A human-readable identifier used in traces and pruning masks.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulated gradient buffer."""
+        grad = np.asarray(grad, dtype=np.float32)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def sparsity(self) -> float:
+        """Fraction of zero elements in the parameter value."""
+        if self.data.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.data == 0.0)) / self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  The base
+    class provides parameter registration, train/eval mode and the generic
+    trace interface.
+    """
+
+    #: set by layers that perform a convolution / matmul the accelerator runs
+    traceable: bool = False
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or self.__class__.__name__
+        self.training = True
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+
+    # -- registration -----------------------------------------------------
+    def register_parameter(self, key: str, parameter: Parameter) -> Parameter:
+        self._parameters[key] = parameter
+        return parameter
+
+    def register_module(self, key: str, module: "Module") -> "Module":
+        self._modules[key] = module
+        return module
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its children."""
+        for parameter in self._parameters.values():
+            yield parameter
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs."""
+        for key, parameter in self._parameters.items():
+            yield (f"{prefix}{key}" if not prefix else f"{prefix}.{key}", parameter)
+        for key, module in self._modules.items():
+            child_prefix = key if not prefix else f"{prefix}.{key}"
+            yield from module.named_parameters(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants depth-first."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def traceable_modules(self) -> List["Module"]:
+        """All descendant layers whose operands should be traced."""
+        return [m for m in self.modules() if m.traceable]
+
+    # -- mode --------------------------------------------------------------
+    def train(self) -> "Module":
+        """Put the module (and children) in training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (and children) in evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- computation -------------------------------------------------------
+    def forward(self, *inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, *inputs: np.ndarray) -> np.ndarray:
+        return self.forward(*inputs)
+
+    # -- tracing -----------------------------------------------------------
+    def trace_operands(self) -> Dict[str, np.ndarray]:
+        """Return the operands of the last forward/backward pass.
+
+        For traceable layers the dictionary contains ``"weights"``,
+        ``"activations"`` and, after a backward pass, ``"output_gradients"``.
+        Non-traceable layers return an empty dictionary.
+        """
+        return {}
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars in this module tree."""
+        return sum(p.size for p in self.parameters())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.__class__.__name__}(name={self.name!r})"

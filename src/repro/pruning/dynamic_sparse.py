@@ -1,0 +1,91 @@
+"""Dynamic sparse reparameterization (Mostafa & Wang, ICML 2019) — "DS90".
+
+The method keeps a fixed global budget of non-zero weights (10% of the
+total for the paper's 90% target).  Periodically it prunes the weights with
+the smallest magnitudes (below an adaptive threshold) and *regrows* an
+equal number of connections at randomly chosen currently-zero positions,
+reallocating the freed budget across layers proportionally to how many
+survivors each layer kept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.pruning.base import MaskedPruner
+
+
+class DynamicSparseReparameterization(MaskedPruner):
+    """Fixed-budget prune-and-regrow pruning."""
+
+    def __init__(
+        self,
+        target_sparsity: float = 0.9,
+        prune_fraction: float = 0.2,
+        update_every: int = 4,
+        warmup_steps: int = 0,
+        seed: int = 0,
+    ):
+        super().__init__(target_sparsity=target_sparsity, warmup_steps=warmup_steps)
+        if not 0.0 < prune_fraction <= 1.0:
+            raise ValueError(f"prune_fraction must be in (0, 1], got {prune_fraction}")
+        self.prune_fraction = prune_fraction
+        self.update_every = max(update_every, 1)
+        self.rng = np.random.default_rng(seed)
+        self._initialised = False
+
+    def _initialise_masks(self) -> None:
+        """Start from a random sparse topology at the target sparsity."""
+        for parameter in self._parameters:
+            keep = 1.0 - self.target_sparsity
+            mask = self.rng.random(parameter.data.shape) < keep
+            self.masks[id(parameter)] = mask
+        self._initialised = True
+
+    def update_masks(self, epoch: int, step: int) -> None:
+        if not self._initialised:
+            self._initialise_masks()
+            return
+        if step % self.update_every:
+            return
+
+        freed_budget = 0
+        survivors_per_parameter: Dict[int, int] = {}
+        for parameter in self._parameters:
+            mask = self.masks[id(parameter)]
+            active = np.flatnonzero(mask.reshape(-1))
+            if active.size == 0:
+                survivors_per_parameter[id(parameter)] = 0
+                continue
+            magnitudes = np.abs(parameter.data.reshape(-1)[active])
+            num_prune = int(self.prune_fraction * active.size)
+            if num_prune:
+                prune_order = np.argsort(magnitudes)[:num_prune]
+                flat = mask.reshape(-1)
+                flat[active[prune_order]] = False
+                freed_budget += num_prune
+            survivors_per_parameter[id(parameter)] = int(mask.sum())
+
+        total_survivors = sum(survivors_per_parameter.values())
+        if total_survivors == 0 or freed_budget == 0:
+            return
+
+        # Regrow the freed budget proportionally to each layer's survivors.
+        for parameter in self._parameters:
+            mask = self.masks[id(parameter)]
+            share = survivors_per_parameter[id(parameter)] / total_survivors
+            to_grow = int(round(freed_budget * share))
+            if to_grow <= 0:
+                continue
+            flat = mask.reshape(-1)
+            zero_positions = np.flatnonzero(~flat)
+            if zero_positions.size == 0:
+                continue
+            chosen = self.rng.choice(
+                zero_positions, size=min(to_grow, zero_positions.size), replace=False
+            )
+            flat[chosen] = True
+            # Newly grown connections start at zero and learn from scratch.
+            parameter.data.reshape(-1)[chosen] = 0.0

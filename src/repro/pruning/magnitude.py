@@ -1,0 +1,49 @@
+"""Global magnitude pruning with a gradually ramped sparsity target."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pruning.base import MaskedPruner
+
+
+class MagnitudePruner(MaskedPruner):
+    """Prune the globally smallest-magnitude weights.
+
+    The sparsity target ramps linearly from 0 to ``target_sparsity`` over
+    ``ramp_steps`` optimiser steps (a cubic or linear ramp is standard for
+    magnitude pruning during training); once a weight is pruned it can be
+    recovered only if it is no longer among the smallest at the next update.
+    """
+
+    def __init__(
+        self,
+        target_sparsity: float = 0.9,
+        ramp_steps: int = 20,
+        update_every: int = 1,
+        warmup_steps: int = 0,
+    ):
+        super().__init__(target_sparsity=target_sparsity, warmup_steps=warmup_steps)
+        self.ramp_steps = max(ramp_steps, 1)
+        self.update_every = max(update_every, 1)
+
+    def current_target(self, step: int) -> float:
+        """Sparsity target in effect at a given optimiser step."""
+        progress = min(1.0, (step + 1) / self.ramp_steps)
+        return self.target_sparsity * progress
+
+    def update_masks(self, epoch: int, step: int) -> None:
+        if step % self.update_every:
+            return
+        target = self.current_target(step)
+        all_magnitudes = np.concatenate(
+            [np.abs(p.data).reshape(-1) for p in self._parameters]
+        )
+        if all_magnitudes.size == 0:
+            return
+        k = int(target * all_magnitudes.size)
+        if k <= 0:
+            return
+        threshold = np.partition(all_magnitudes, k - 1)[k - 1]
+        for parameter in self._parameters:
+            self.masks[id(parameter)] = np.abs(parameter.data) > threshold

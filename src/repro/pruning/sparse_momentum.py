@@ -1,0 +1,129 @@
+"""Sparse momentum (Dettmers & Zettlemoyer, 2019) — "SM90".
+
+Like dynamic sparse reparameterization, sparse momentum keeps a fixed
+non-zero budget, but it uses the *momentum* of the optimiser to decide both
+how the budget is redistributed across layers (layers with larger mean
+momentum magnitude get a larger share) and which zero positions are regrown
+(those with the largest momentum magnitude, i.e. the connections gradient
+descent most "wants" to use).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.optim import MomentumSGD
+from repro.pruning.base import MaskedPruner
+
+
+class SparseMomentumPruner(MaskedPruner):
+    """Momentum-guided prune-and-regrow pruning."""
+
+    def __init__(
+        self,
+        optimizer: Optional[MomentumSGD] = None,
+        target_sparsity: float = 0.9,
+        prune_fraction: float = 0.2,
+        update_every: int = 4,
+        warmup_steps: int = 0,
+        seed: int = 0,
+    ):
+        super().__init__(target_sparsity=target_sparsity, warmup_steps=warmup_steps)
+        self.optimizer = optimizer
+        self.prune_fraction = prune_fraction
+        self.update_every = max(update_every, 1)
+        self.rng = np.random.default_rng(seed)
+        self._initialised = False
+
+    def bind_optimizer(self, optimizer: MomentumSGD) -> None:
+        """Give the pruner access to the optimiser's momentum buffers."""
+        self.optimizer = optimizer
+
+    def _momentum_of(self, parameter) -> np.ndarray:
+        if isinstance(self.optimizer, MomentumSGD):
+            return np.abs(self.optimizer.velocity_of(parameter))
+        # Without a momentum optimiser fall back to gradient magnitude.
+        if parameter.grad is not None:
+            return np.abs(parameter.grad)
+        return np.zeros_like(parameter.data)
+
+    def _initialise_masks(self) -> None:
+        for parameter in self._parameters:
+            keep = 1.0 - self.target_sparsity
+            mask = self.rng.random(parameter.data.shape) < keep
+            self.masks[id(parameter)] = mask
+        self._initialised = True
+
+    def update_masks(self, epoch: int, step: int) -> None:
+        if not self._initialised:
+            self._initialise_masks()
+            return
+        if step % self.update_every:
+            return
+
+        freed_budget = 0
+        momentum_share: Dict[int, float] = {}
+        for parameter in self._parameters:
+            mask = self.masks[id(parameter)]
+            active = np.flatnonzero(mask.reshape(-1))
+            momentum = self._momentum_of(parameter)
+            momentum_share[id(parameter)] = float(momentum.mean())
+            if active.size == 0:
+                continue
+            magnitudes = np.abs(parameter.data.reshape(-1)[active])
+            num_prune = int(self.prune_fraction * active.size)
+            if num_prune:
+                prune_order = np.argsort(magnitudes)[:num_prune]
+                flat = mask.reshape(-1)
+                flat[active[prune_order]] = False
+                freed_budget += num_prune
+
+        total_momentum = sum(momentum_share.values())
+        if freed_budget == 0:
+            return
+
+        # Desired regrowth per layer, proportional to its momentum share.
+        desired = {}
+        for parameter in self._parameters:
+            if total_momentum > 0:
+                share = momentum_share[id(parameter)] / total_momentum
+            else:
+                share = 1.0 / max(len(self._parameters), 1)
+            desired[id(parameter)] = freed_budget * share
+
+        # Two-pass allocation: grant each layer min(desired, capacity), then
+        # redistribute the leftover to layers that still have zero positions,
+        # so the global non-zero budget stays constant (the method's
+        # fixed-budget invariant).
+        remaining = freed_budget
+        for _ in range(3):
+            if remaining <= 0:
+                break
+            capacities = {
+                id(p): int(np.count_nonzero(~self.masks[id(p)]))
+                for p in self._parameters
+            }
+            total_desired = sum(min(desired[k], capacities[k]) for k in desired)
+            if total_desired <= 0:
+                break
+            budget_this_pass = remaining
+            for parameter in self._parameters:
+                key = id(parameter)
+                capacity = capacities[key]
+                if capacity == 0 or remaining <= 0:
+                    continue
+                want = min(desired[key], capacity)
+                to_grow = int(round(budget_this_pass * want / total_desired))
+                to_grow = min(to_grow, capacity, remaining)
+                if to_grow <= 0:
+                    continue
+                flat = self.masks[key].reshape(-1)
+                zero_positions = np.flatnonzero(~flat)
+                momentum = self._momentum_of(parameter).reshape(-1)[zero_positions]
+                order = np.argsort(momentum)[::-1]
+                chosen = zero_positions[order[:to_grow]]
+                flat[chosen] = True
+                parameter.data.reshape(-1)[chosen] = 0.0
+                remaining -= to_grow

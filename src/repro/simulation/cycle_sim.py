@@ -1,0 +1,157 @@
+"""Layer-level cycle simulation of the three training convolutions.
+
+The :class:`LayerSimulator` turns a traced layer (operand non-zero masks
+plus convolution hyper-parameters) into operand streams, runs them through
+the accelerator model and returns baseline / TensorDash cycle counts, MAC
+counts and memory traffic for each of the paper's three operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.accelerator import Accelerator, OperationResult
+from repro.core.config import AcceleratorConfig
+from repro.memory.traffic import MemoryTraffic, TrafficCounter
+from repro.simulation.streams import OperandStreams, StreamExtractor
+from repro.training.tracing import LayerTrace
+
+
+class OperationKind(str, Enum):
+    """The three per-layer training operations."""
+
+    FORWARD = "AxW"
+    INPUT_GRADIENT = "AxG"
+    WEIGHT_GRADIENT = "WxG"
+
+
+@dataclass
+class LayerResult:
+    """Simulation outcome of one traced layer."""
+
+    layer_name: str
+    operations: Dict[str, OperationResult] = field(default_factory=dict)
+    traffic: Dict[str, MemoryTraffic] = field(default_factory=dict)
+
+    def speedup(self, operation: Optional[str] = None) -> float:
+        """Speedup for one operation, or overall when ``operation`` is None."""
+        if operation is not None:
+            return self.operations[operation].speedup
+        baseline = sum(op.baseline_cycles for op in self.operations.values())
+        tensordash = sum(op.tensordash_cycles for op in self.operations.values())
+        return baseline / tensordash if tensordash else 1.0
+
+    @property
+    def baseline_cycles(self) -> int:
+        return sum(op.baseline_cycles for op in self.operations.values())
+
+    @property
+    def tensordash_cycles(self) -> int:
+        return sum(op.tensordash_cycles for op in self.operations.values())
+
+    def total_traffic(self) -> MemoryTraffic:
+        """Summed memory traffic across operations."""
+        total = MemoryTraffic()
+        for traffic in self.traffic.values():
+            total = total + traffic
+        return total
+
+
+class LayerSimulator:
+    """Simulates traced layers on the baseline and TensorDash accelerators."""
+
+    def __init__(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        max_groups: Optional[int] = 256,
+        max_batch: Optional[int] = 4,
+    ):
+        self.config = config or AcceleratorConfig()
+        self.accelerator = Accelerator(self.config)
+        self.extractor = StreamExtractor(
+            tile_rows=self.config.tile.rows,
+            lanes=self.config.pe.lanes,
+            max_groups=max_groups,
+            max_batch=max_batch,
+        )
+        value_bytes = self.config.pe.value_bits // 8
+        self.traffic_counter = TrafficCounter(value_bytes=value_bytes)
+
+    # ------------------------------------------------------------------
+    def _streams_for_trace(self, trace: LayerTrace) -> Dict[str, OperandStreams]:
+        if trace.activation_mask is None:
+            return {}
+        if trace.layer_type == "conv":
+            return self.extractor.conv_streams(
+                trace.activation_mask,
+                trace.output_gradient_mask,
+                kernel=trace.kernel,
+                stride=trace.stride,
+                padding=trace.padding,
+            )
+        return self.extractor.fc_streams(
+            trace.activation_mask, trace.output_gradient_mask
+        )
+
+    def _traffic_for_trace(self, trace: LayerTrace) -> Dict[str, MemoryTraffic]:
+        """Approximate memory traffic per operation from the traced masks."""
+        traffic: Dict[str, MemoryTraffic] = {}
+        activations = trace.activation_mask
+        gradients = trace.output_gradient_mask
+        weights = trace.weight_mask
+        if activations is None or weights is None:
+            return traffic
+        act = activations.astype(np.float32)
+        wts = weights.astype(np.float32)
+        out_size = int(act.shape[0]) * int(weights.shape[0])
+        traffic["AxW"] = self.traffic_counter.operation_traffic(
+            {"A": act, "W": wts}, out_size
+        )
+        if gradients is not None:
+            grd = gradients.astype(np.float32)
+            traffic["AxG"] = self.traffic_counter.operation_traffic(
+                {"GO": grd, "W": wts}, int(act.size)
+            )
+            traffic["WxG"] = self.traffic_counter.operation_traffic(
+                {"GO": grd, "A": act}, int(weights.size)
+            )
+        return traffic
+
+    def simulate_layer(self, trace: LayerTrace) -> LayerResult:
+        """Simulate all traced operations of one layer.
+
+        When the stream extractor subsamples work groups, the measured
+        cycle and MAC counts are scaled back up by the sampling factor so
+        that they stay commensurate with the (unsampled) memory-traffic
+        estimates used by the energy accounting.  Speedups are ratios and
+        are unaffected by the scaling.
+        """
+        result = LayerResult(layer_name=trace.layer_name)
+        streams = self._streams_for_trace(trace)
+        for operation, operand_streams in streams.items():
+            op_result = self.accelerator.run_operation(operation, operand_streams.groups)
+            factor = operand_streams.sampling_factor
+            if factor > 1.0:
+                op_result = OperationResult(
+                    name=op_result.name,
+                    baseline_cycles=int(round(op_result.baseline_cycles * factor)),
+                    tensordash_cycles=int(round(op_result.tensordash_cycles * factor)),
+                    macs_total=int(round(op_result.macs_total * factor)),
+                    macs_effectual=int(round(op_result.macs_effectual * factor)),
+                )
+            result.operations[operation] = op_result
+        result.traffic = self._traffic_for_trace(trace)
+        return result
+
+    def simulate_layers(self, traces: List[LayerTrace]) -> List[LayerResult]:
+        """Simulate every traced layer; layers without masks are skipped."""
+        results = []
+        for trace in traces:
+            if trace.activation_mask is None:
+                continue
+            results.append(self.simulate_layer(trace))
+        return results

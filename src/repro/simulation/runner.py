@@ -1,0 +1,202 @@
+"""Experiment runner: model-level aggregation used by the benchmark harness.
+
+:class:`ExperimentRunner` ties the pieces together: it takes the operand
+traces produced by :class:`repro.training.Trainer`, simulates every traced
+layer on the baseline and TensorDash accelerators, and aggregates cycles,
+speedups, memory traffic and energy per model and per operation — the
+quantities Figs. 13-20 and Table 3 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import AcceleratorConfig
+from repro.energy.accounting import EfficiencyReport, EnergyAccountant
+from repro.memory.traffic import MemoryTraffic
+from repro.simulation.cycle_sim import LayerResult, LayerSimulator
+from repro.simulation.speedup import potential_speedup_from_sparsity
+from repro.training.tracing import EpochTrace, TrainingTrace
+
+
+#: The three operations in the order the paper's figures list them.
+OPERATIONS = ("AxW", "AxG", "WxG")
+
+
+@dataclass
+class ModelResult:
+    """Aggregated simulation results for one model on one epoch trace."""
+
+    model_name: str
+    epoch: int
+    layer_results: List[LayerResult] = field(default_factory=list)
+
+    def cycles(self, operation: Optional[str] = None) -> Dict[str, int]:
+        """Baseline/TensorDash cycle totals, optionally for one operation."""
+        baseline = 0
+        tensordash = 0
+        for layer in self.layer_results:
+            for op_name, op in layer.operations.items():
+                if operation is not None and op_name != operation:
+                    continue
+                baseline += op.baseline_cycles
+                tensordash += op.tensordash_cycles
+        return {"baseline": baseline, "tensordash": tensordash}
+
+    def speedup(self, operation: Optional[str] = None) -> float:
+        """TensorDash speedup over the baseline."""
+        totals = self.cycles(operation)
+        if totals["tensordash"] == 0:
+            return 1.0
+        return totals["baseline"] / totals["tensordash"]
+
+    def per_operation_speedups(self) -> Dict[str, float]:
+        """Speedups for AxW, AxG, WxG and Total (the Fig. 13 series)."""
+        result = {op: self.speedup(op) for op in OPERATIONS}
+        result["Total"] = self.speedup()
+        return result
+
+    def potential_speedups(self) -> Dict[str, float]:
+        """Work-reduction upper bounds per operation (the Fig. 1 series)."""
+        result: Dict[str, float] = {}
+        total_macs = 0
+        total_effectual = 0
+        for op in OPERATIONS:
+            macs = 0
+            effectual = 0
+            for layer in self.layer_results:
+                if op in layer.operations:
+                    macs += layer.operations[op].macs_total
+                    effectual += layer.operations[op].macs_effectual
+            result[op] = macs / effectual if effectual else 1.0
+            total_macs += macs
+            total_effectual += effectual
+        result["Total"] = total_macs / total_effectual if total_effectual else 1.0
+        return result
+
+    def total_traffic(self) -> MemoryTraffic:
+        """Memory traffic summed across layers and operations."""
+        total = MemoryTraffic()
+        for layer in self.layer_results:
+            total = total + layer.total_traffic()
+        return total
+
+
+class ExperimentRunner:
+    """Runs trace-driven accelerator simulations for whole models."""
+
+    def __init__(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        max_groups: Optional[int] = 256,
+        max_batch: Optional[int] = 4,
+    ):
+        self.config = config or AcceleratorConfig()
+        self.simulator = LayerSimulator(
+            self.config, max_groups=max_groups, max_batch=max_batch
+        )
+        self.accountant = EnergyAccountant(self.config)
+
+    # ------------------------------------------------------------------
+    def run_epoch(self, model_name: str, epoch_trace: EpochTrace) -> ModelResult:
+        """Simulate one epoch's traced batch for a model."""
+        layer_results = self.simulator.simulate_layers(epoch_trace.layers)
+        return ModelResult(
+            model_name=model_name,
+            epoch=epoch_trace.epoch,
+            layer_results=layer_results,
+        )
+
+    def run_final_epoch(self, trace: TrainingTrace) -> ModelResult:
+        """Simulate the final epoch of a training trace."""
+        return self.run_epoch(trace.model_name, trace.final_epoch())
+
+    def run_over_training(
+        self, trace: TrainingTrace, num_points: Optional[int] = None
+    ) -> List[ModelResult]:
+        """Simulate evenly spaced epochs across a training run (Fig. 14)."""
+        epochs = trace.epochs
+        if num_points is not None and num_points < len(epochs):
+            indices = np.linspace(0, len(epochs) - 1, num_points).astype(int)
+            epochs = [epochs[i] for i in indices]
+        return [self.run_epoch(trace.model_name, epoch) for epoch in epochs]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def potential_speedups_from_trace(epoch_trace: EpochTrace) -> Dict[str, float]:
+        """Fig. 1: work-reduction potential computed from raw operand sparsity.
+
+        Unlike :meth:`ModelResult.potential_speedups` this uses the traced
+        tensors' zero fractions directly (no lane/tile padding), weighting
+        layers by their MAC counts: ``total MACs / remaining MACs`` with the
+        remaining MACs being those whose targeted operand is non-zero.
+        """
+        result: Dict[str, float] = {}
+        grand_total = 0.0
+        grand_remaining = 0.0
+        for operation in OPERATIONS:
+            total = 0.0
+            remaining = 0.0
+            for layer in epoch_trace.layers:
+                macs = float(layer.macs or 0)
+                if macs <= 0:
+                    continue
+                sparsity = layer.operand_sparsity(operation)
+                total += macs
+                remaining += macs * (1.0 - sparsity)
+            result[operation] = total / remaining if remaining else 1.0
+            grand_total += total
+            grand_remaining += remaining
+        result["Total"] = grand_total / grand_remaining if grand_remaining else 1.0
+        return result
+
+    def energy_report(self, result: ModelResult, power_gated: bool = False) -> EfficiencyReport:
+        """Core and overall energy efficiency for one model result."""
+        cycles = result.cycles()
+        traffic = result.total_traffic()
+        return self.accountant.efficiency(
+            baseline_cycles=cycles["baseline"],
+            tensordash_cycles=cycles["tensordash"],
+            baseline_traffic=traffic,
+            power_gated=power_gated,
+        )
+
+
+def simulate_model_training(
+    model,
+    dataset,
+    model_name: str,
+    config: Optional[AcceleratorConfig] = None,
+    epochs: int = 2,
+    batches_per_epoch: int = 2,
+    batch_size: int = 8,
+    learning_rate: float = 0.01,
+    max_groups: Optional[int] = 128,
+    pruning_hook=None,
+) -> ModelResult:
+    """End-to-end convenience: train briefly, trace, and simulate.
+
+    This is the one-call public API used by the quickstart example: it
+    trains ``model`` on ``dataset`` for a few epochs, traces the operands
+    of the final epoch and returns the aggregated accelerator results.
+    """
+    from repro.nn.optim import MomentumSGD
+    from repro.training.trainer import Trainer, TrainingConfig
+
+    trainer = Trainer(
+        model=model,
+        optimizer=MomentumSGD(model.parameters(), lr=learning_rate),
+        config=TrainingConfig(
+            epochs=epochs,
+            batches_per_epoch=batches_per_epoch,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+        ),
+        pruning_hook=pruning_hook,
+    )
+    trace = trainer.train(dataset, model_name=model_name)
+    runner = ExperimentRunner(config=config, max_groups=max_groups)
+    return runner.run_final_epoch(trace)

@@ -1,0 +1,353 @@
+"""Operand-stream extraction for the three training convolutions.
+
+The accelerator consumes *dense-schedule streams*: for every output value,
+the reduction over its receptive field is laid out as rows of ``lanes``
+values (16 consecutive channel values per row, per the Section 3.4 tensor
+layout).  The hardware scheduler's behaviour depends only on which of those
+values are zero, so this module extracts boolean streams from the traced
+operand tensors and groups them into tile-row work groups:
+
+* ``O = W * A``   — the targeted (B-side) operand is A; one stream per
+  output window, ``tile_rows`` windows per group.
+* ``GA = GO * W`` — the targeted operand is GO (dilated by the stride,
+  padded for a full convolution); one stream per input-gradient position.
+* ``GW = GO * A`` — the targeted operand is whichever of GO or A is
+  sparser for the layer (the paper's policy); one stream per output filter
+  (GO) or input channel (A), reduced over the batch and spatial positions.
+
+Streams can be subsampled (``max_groups``) to keep full-model simulation
+tractable; sampling is deterministic (evenly spaced) so results are
+reproducible, and speedups remain ratios over identical work for baseline
+and TensorDash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class OperandStreams:
+    """Row-group streams for one operation of one layer.
+
+    Attributes
+    ----------
+    groups:
+        Boolean array ``(num_groups, tile_rows, stream_rows, lanes)`` of
+        effectual (non-zero targeted operand) positions.
+    total_groups:
+        Number of groups the full operation contains before sampling; the
+        simulator scales MAC counts by ``total_groups / groups.shape[0]``.
+    targeted_operand:
+        Name of the operand whose sparsity is extracted ("A" or "GO").
+    """
+
+    groups: np.ndarray
+    total_groups: int
+    targeted_operand: str
+
+    @property
+    def sampled_groups(self) -> int:
+        return int(self.groups.shape[0])
+
+    @property
+    def sampling_factor(self) -> float:
+        """How much the full operation exceeds the sampled portion."""
+        if self.sampled_groups == 0:
+            return 1.0
+        return self.total_groups / self.sampled_groups
+
+
+def _pad_lanes(vectors: np.ndarray, lanes: int) -> np.ndarray:
+    """Pad the last axis of ``(num, length)`` vectors to a multiple of ``lanes``
+    and reshape to ``(num, rows, lanes)`` (padding positions are zero and thus
+    ineffectual)."""
+    num, length = vectors.shape
+    rows = -(-length // lanes)
+    padded = np.zeros((num, rows * lanes), dtype=bool)
+    padded[:, :length] = vectors
+    return padded.reshape(num, rows, lanes)
+
+
+def _group_rows(streams: np.ndarray, tile_rows: int) -> np.ndarray:
+    """Group ``(num, rows, lanes)`` streams into ``(groups, tile_rows, rows, lanes)``.
+
+    Streams that do not fill the last group are padded with all-zero
+    (maximally sparse) streams, mirroring fragmentation at layer edges.
+    """
+    num, rows, lanes = streams.shape
+    groups = -(-num // tile_rows)
+    padded = np.zeros((groups * tile_rows, rows, lanes), dtype=bool)
+    padded[:num] = streams
+    return padded.reshape(groups, tile_rows, rows, lanes)
+
+
+def _sample_groups(groups: np.ndarray, max_groups: Optional[int]) -> Tuple[np.ndarray, int]:
+    """Deterministically subsample groups (evenly spaced)."""
+    total = groups.shape[0]
+    if max_groups is None or total <= max_groups:
+        return groups, total
+    indices = np.linspace(0, total - 1, max_groups).astype(np.int64)
+    return groups[indices], total
+
+
+def _dilate_spatial(mask: np.ndarray, stride: int) -> np.ndarray:
+    """Insert ``stride - 1`` zeros between spatial positions (gradient dilation)."""
+    if stride == 1:
+        return mask
+    n, c, h, w = mask.shape
+    dilated = np.zeros(
+        (n, c, (h - 1) * stride + 1, (w - 1) * stride + 1), dtype=mask.dtype
+    )
+    dilated[:, :, ::stride, ::stride] = mask
+    return dilated
+
+
+def _receptive_field_vectors(
+    mask: np.ndarray, kernel: int, stride: int, padding: int
+) -> np.ndarray:
+    """All receptive-field vectors of a 4D boolean mask, channel-innermost.
+
+    Returns an array of shape ``(windows, kernel * kernel * channels)``
+    where each vector is the flattened receptive field of one output
+    position with the channel dimension innermost (matching the 16-wide
+    channel blocks of the tensor layout).
+    """
+    n, c, h, w = mask.shape
+    if padding:
+        mask = np.pad(
+            mask,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+        h, w = h + 2 * padding, w + 2 * padding
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    s = mask.strides
+    view = np.lib.stride_tricks.as_strided(
+        mask,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False,
+    )
+    # (n, out_h, out_w, kernel, kernel, c): channel innermost.
+    vectors = view.transpose(0, 2, 3, 4, 5, 1).reshape(
+        n * out_h * out_w, kernel * kernel * c
+    )
+    return np.ascontiguousarray(vectors)
+
+
+def forward_streams(
+    activation_mask: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    tile_rows: int = 4,
+    lanes: int = 16,
+    max_groups: Optional[int] = 512,
+) -> OperandStreams:
+    """Streams for ``O = W * A``; sparsity is extracted from the activations.
+
+    ``activation_mask`` is the boolean non-zero mask of the layer's input
+    activations, shaped ``(N, C, H, W)``.
+    """
+    vectors = _receptive_field_vectors(activation_mask, kernel, stride, padding)
+    streams = _pad_lanes(vectors, lanes)
+    groups = _group_rows(streams, tile_rows)
+    sampled, total = _sample_groups(groups, max_groups)
+    return OperandStreams(groups=sampled, total_groups=total, targeted_operand="A")
+
+
+def input_gradient_streams(
+    output_gradient_mask: np.ndarray,
+    kernel: int,
+    stride: int,
+    tile_rows: int = 4,
+    lanes: int = 16,
+    max_groups: Optional[int] = 512,
+) -> OperandStreams:
+    """Streams for ``GA = GO * W``; sparsity is extracted from the gradients.
+
+    The output gradients are dilated by the stride and the convolution is a
+    "full" convolution (padding ``kernel - 1``) over the reconstructed,
+    rotated filters — only the GO sparsity pattern matters for scheduling.
+    """
+    dilated = _dilate_spatial(output_gradient_mask, stride)
+    vectors = _receptive_field_vectors(dilated, kernel, stride=1, padding=kernel - 1)
+    streams = _pad_lanes(vectors, lanes)
+    groups = _group_rows(streams, tile_rows)
+    sampled, total = _sample_groups(groups, max_groups)
+    return OperandStreams(groups=sampled, total_groups=total, targeted_operand="GO")
+
+
+def weight_gradient_streams(
+    output_gradient_mask: np.ndarray,
+    activation_mask: np.ndarray,
+    tile_rows: int = 4,
+    lanes: int = 16,
+    max_groups: Optional[int] = 512,
+) -> OperandStreams:
+    """Streams for ``GW = GO * A``.
+
+    The reduction for one weight gradient runs over the batch and the
+    output spatial positions.  Sparsity is extracted from GO or A,
+    whichever is sparser for this layer (the paper's policy); one stream
+    per filter (GO) or per input channel (A).
+    """
+    go_sparsity = 1.0 - np.count_nonzero(output_gradient_mask) / max(
+        output_gradient_mask.size, 1
+    )
+    a_sparsity = 1.0 - np.count_nonzero(activation_mask) / max(activation_mask.size, 1)
+    if go_sparsity >= a_sparsity:
+        targeted = output_gradient_mask
+        name = "GO"
+    else:
+        targeted = activation_mask
+        name = "A"
+    # (N, C, H, W) -> one stream per channel, reduced over (N, H, W).
+    n, c, h, w = targeted.shape
+    vectors = targeted.transpose(1, 0, 2, 3).reshape(c, n * h * w)
+    streams = _pad_lanes(vectors, lanes)
+    groups = _group_rows(streams, tile_rows)
+    sampled, total = _sample_groups(groups, max_groups)
+    return OperandStreams(groups=sampled, total_groups=total, targeted_operand=name)
+
+
+def fully_connected_forward_streams(
+    activation_mask: np.ndarray,
+    tile_rows: int = 4,
+    lanes: int = 16,
+    max_groups: Optional[int] = 512,
+) -> OperandStreams:
+    """Streams for a fully-connected forward pass; one stream per sample."""
+    if activation_mask.ndim != 2:
+        activation_mask = activation_mask.reshape(activation_mask.shape[0], -1)
+    streams = _pad_lanes(activation_mask, lanes)
+    groups = _group_rows(streams, tile_rows)
+    sampled, total = _sample_groups(groups, max_groups)
+    return OperandStreams(groups=sampled, total_groups=total, targeted_operand="A")
+
+
+def fully_connected_gradient_streams(
+    output_gradient_mask: np.ndarray,
+    tile_rows: int = 4,
+    lanes: int = 16,
+    max_groups: Optional[int] = 512,
+) -> OperandStreams:
+    """Streams for the FC input-gradient computation; one stream per sample."""
+    if output_gradient_mask.ndim != 2:
+        output_gradient_mask = output_gradient_mask.reshape(
+            output_gradient_mask.shape[0], -1
+        )
+    streams = _pad_lanes(output_gradient_mask, lanes)
+    groups = _group_rows(streams, tile_rows)
+    sampled, total = _sample_groups(groups, max_groups)
+    return OperandStreams(groups=sampled, total_groups=total, targeted_operand="GO")
+
+
+def fully_connected_weight_gradient_streams(
+    output_gradient_mask: np.ndarray,
+    activation_mask: np.ndarray,
+    tile_rows: int = 4,
+    lanes: int = 16,
+    max_groups: Optional[int] = 512,
+) -> OperandStreams:
+    """Streams for the FC weight-gradient computation (reduction over the batch)."""
+    if output_gradient_mask.ndim != 2:
+        output_gradient_mask = output_gradient_mask.reshape(
+            output_gradient_mask.shape[0], -1
+        )
+    if activation_mask.ndim != 2:
+        activation_mask = activation_mask.reshape(activation_mask.shape[0], -1)
+    go_sparsity = 1.0 - np.count_nonzero(output_gradient_mask) / max(
+        output_gradient_mask.size, 1
+    )
+    a_sparsity = 1.0 - np.count_nonzero(activation_mask) / max(activation_mask.size, 1)
+    if go_sparsity >= a_sparsity:
+        targeted = output_gradient_mask.T  # one stream per output feature
+        name = "GO"
+    else:
+        targeted = activation_mask.T       # one stream per input feature
+        name = "A"
+    streams = _pad_lanes(targeted, lanes)
+    groups = _group_rows(streams, tile_rows)
+    sampled, total = _sample_groups(groups, max_groups)
+    return OperandStreams(groups=sampled, total_groups=total, targeted_operand=name)
+
+
+class StreamExtractor:
+    """Convenience wrapper binding the tile geometry and sampling policy."""
+
+    def __init__(
+        self,
+        tile_rows: int = 4,
+        lanes: int = 16,
+        max_groups: Optional[int] = 512,
+        max_batch: Optional[int] = 4,
+    ):
+        self.tile_rows = tile_rows
+        self.lanes = lanes
+        self.max_groups = max_groups
+        self.max_batch = max_batch
+
+    def _clip_batch(self, mask: np.ndarray) -> np.ndarray:
+        # Clip only convolutional (4D) operands; see TraceCollector._clip.
+        if self.max_batch is None or mask.ndim != 4:
+            return mask
+        if mask.shape[0] <= self.max_batch:
+            return mask
+        return mask[: self.max_batch]
+
+    def conv_streams(
+        self,
+        activation_mask: np.ndarray,
+        output_gradient_mask: Optional[np.ndarray],
+        kernel: int,
+        stride: int,
+        padding: int,
+    ) -> dict:
+        """All three operations' streams for a convolutional layer."""
+        activation_mask = self._clip_batch(activation_mask)
+        result = {
+            "AxW": forward_streams(
+                activation_mask, kernel, stride, padding,
+                self.tile_rows, self.lanes, self.max_groups,
+            )
+        }
+        if output_gradient_mask is not None:
+            output_gradient_mask = self._clip_batch(output_gradient_mask)
+            result["AxG"] = input_gradient_streams(
+                output_gradient_mask, kernel, stride,
+                self.tile_rows, self.lanes, self.max_groups,
+            )
+            result["WxG"] = weight_gradient_streams(
+                output_gradient_mask, activation_mask,
+                self.tile_rows, self.lanes, self.max_groups,
+            )
+        return result
+
+    def fc_streams(
+        self,
+        activation_mask: np.ndarray,
+        output_gradient_mask: Optional[np.ndarray],
+    ) -> dict:
+        """All three operations' streams for a fully-connected layer."""
+        activation_mask = self._clip_batch(activation_mask)
+        result = {
+            "AxW": fully_connected_forward_streams(
+                activation_mask, self.tile_rows, self.lanes, self.max_groups
+            )
+        }
+        if output_gradient_mask is not None:
+            output_gradient_mask = self._clip_batch(output_gradient_mask)
+            result["AxG"] = fully_connected_gradient_streams(
+                output_gradient_mask, self.tile_rows, self.lanes, self.max_groups
+            )
+            result["WxG"] = fully_connected_weight_gradient_streams(
+                output_gradient_mask, activation_mask,
+                self.tile_rows, self.lanes, self.max_groups,
+            )
+        return result

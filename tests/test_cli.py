@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "alexnet"])
+        assert args.model == "alexnet"
+        assert args.epochs == 2
+        assert args.datatype == "fp32"
+
+    def test_simulate_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "not-a-model"])
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "squeezenet", "--knob", "staging", "--values", "2,3"]
+        )
+        assert args.knob == "staging"
+        assert args.values == "2,3"
+
+
+class TestCommands:
+    def test_list_models_prints_registry(self, capsys):
+        assert main(["list-models"]) == 0
+        output = capsys.readouterr().out
+        assert "alexnet" in output
+        assert "resnet50_DS90" in output
+        assert "sparse" in output.lower()
+
+    def test_simulate_small_run(self, capsys):
+        exit_code = main([
+            "simulate", "snli", "--epochs", "1", "--batches-per-epoch", "1",
+            "--batch-size", "4", "--max-groups", "8",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "TensorDash vs baseline" in output
+        assert "Total" in output
+        assert "energy efficiency" in output.lower()
+
+    def test_sweep_staging_depth(self, capsys):
+        exit_code = main([
+            "sweep", "snli", "--knob", "staging", "--values", "2,3",
+            "--epochs", "1", "--max-groups", "8",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "staging=2" in output
+        assert "staging=3" in output
+
+    def test_sweep_datatype(self, capsys):
+        exit_code = main([
+            "sweep", "snli", "--knob", "datatype", "--values", "fp32,bfloat16",
+            "--epochs", "1", "--max-groups", "8",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "datatype=bfloat16" in output

@@ -1,0 +1,120 @@
+"""Tests for the multi-tile accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import Accelerator
+from repro.core.config import AcceleratorConfig, PEConfig, TileConfig
+from repro.core.tile import TensorDashTile
+
+
+def make_groups(num_groups=6, tile_rows=4, stream_rows=25, lanes=16, sparsity=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((num_groups, tile_rows, stream_rows, lanes)) > sparsity
+
+
+class TestTileCycles:
+    def test_matches_functional_tile_model(self):
+        """The vectorised cycle path agrees with the per-value tile model."""
+        rng = np.random.default_rng(0)
+        stream_rows, lanes = 30, 16
+        accelerator = Accelerator()
+        for seed in range(3):
+            rng = np.random.default_rng(seed)
+            b_streams = []
+            for _ in range(4):
+                b = rng.random((stream_rows, lanes))
+                b[rng.random((stream_rows, lanes)) < 0.6] = 0.0
+                b_streams.append(b)
+            a_streams = [rng.random((stream_rows, lanes)) for _ in range(4)]
+            functional = TensorDashTile().process(a_streams, b_streams, compute_outputs=False)
+            effectual = np.stack([b != 0 for b in b_streams])
+            assert accelerator.tile_cycles(effectual) == functional.cycles
+
+    def test_batch_matches_individual_groups(self):
+        accelerator = Accelerator()
+        groups = make_groups(num_groups=8, seed=1)
+        batched = accelerator.tile_cycles_batch(groups)
+        individual = np.array([accelerator.tile_cycles(g) for g in groups])
+        assert np.array_equal(batched, individual)
+
+    def test_power_gated_matches_baseline(self):
+        config = AcceleratorConfig(power_gated=True)
+        accelerator = Accelerator(config)
+        groups = make_groups(sparsity=0.9, seed=2)
+        cycles = accelerator.tile_cycles_batch(groups)
+        assert np.all(cycles == groups.shape[2])
+
+    def test_empty_groups(self):
+        accelerator = Accelerator()
+        cycles = accelerator.tile_cycles_batch(np.zeros((0, 4, 10, 16), dtype=bool))
+        assert cycles.shape == (0,)
+
+    def test_rejects_bad_shape(self):
+        accelerator = Accelerator()
+        with pytest.raises(ValueError):
+            accelerator.tile_cycles_batch(np.zeros((4, 10, 16), dtype=bool))
+
+
+class TestRunOperation:
+    def test_speedup_between_one_and_depth(self):
+        accelerator = Accelerator()
+        result = accelerator.run_operation("AxW", make_groups(sparsity=0.7, seed=3))
+        assert 1.0 <= result.speedup <= accelerator.config.pe.max_speedup
+
+    def test_dense_operation_has_unit_speedup(self):
+        accelerator = Accelerator()
+        groups = np.ones((4, 4, 20, 16), dtype=bool)
+        result = accelerator.run_operation("AxW", groups)
+        assert result.speedup == pytest.approx(1.0)
+        assert result.potential_speedup == pytest.approx(1.0)
+
+    def test_potential_speedup_upper_bounds_actual(self):
+        accelerator = Accelerator()
+        for sparsity in (0.3, 0.6, 0.9):
+            result = accelerator.run_operation("AxW", make_groups(sparsity=sparsity, seed=4))
+            assert result.speedup <= result.potential_speedup + 1e-9
+
+    def test_accepts_list_of_groups(self):
+        accelerator = Accelerator()
+        groups = [g for g in make_groups(num_groups=3, seed=5)]
+        from_list = accelerator.run_operation("AxW", groups)
+        from_array = accelerator.run_operation("AxW", np.stack(groups))
+        assert from_list.tensordash_cycles == from_array.tensordash_cycles
+        assert from_list.baseline_cycles == from_array.baseline_cycles
+
+    def test_mac_accounting(self):
+        accelerator = Accelerator()
+        groups = make_groups(num_groups=2, tile_rows=4, stream_rows=10, seed=6)
+        result = accelerator.run_operation("WxG", groups)
+        assert result.macs_total == 2 * 4 * 10 * 16
+        assert result.macs_effectual == int(groups.sum())
+
+
+class TestConfigPlumbing:
+    def test_describe_mentions_geometry(self):
+        description = Accelerator().describe()
+        assert "16 tiles" in description
+        assert "4x4" in description
+
+    def test_staging_depth_two_configuration(self):
+        config = AcceleratorConfig(pe=PEConfig(staging_depth=2))
+        accelerator = Accelerator(config)
+        groups = make_groups(sparsity=0.9, seed=7)
+        deep = Accelerator().tile_cycles_batch(groups).sum()
+        shallow = accelerator.tile_cycles_batch(groups).sum()
+        assert shallow >= deep
+
+    def test_row_geometry_affects_speedup(self):
+        """Fig. 17: grouping more rows per tile cannot increase speedup."""
+        rng = np.random.default_rng(8)
+        streams = rng.random((16, 40, 16)) > 0.7
+        accelerator = Accelerator()
+
+        def speedup_with_rows(rows):
+            grouped = streams.reshape(16 // rows, rows, 40, 16)
+            tensordash = accelerator.tile_cycles_batch(grouped).sum()
+            baseline = grouped.shape[0] * 40
+            return baseline / tensordash
+
+        assert speedup_with_rows(1) >= speedup_with_rows(4) >= speedup_with_rows(16)

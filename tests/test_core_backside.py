@@ -1,0 +1,111 @@
+"""Tests for pre-scheduling (scheduled-form storage) and the back-side scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.backside import BacksideScheduler, PreScheduler
+from repro.core.interconnect import ConnectivityPattern
+
+
+def make_stream(rows=40, lanes=16, sparsity=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.random((rows, lanes))
+    values[rng.random((rows, lanes)) < sparsity] = 0.0
+    return values
+
+
+class TestPreScheduler:
+    def test_roundtrip_reproduces_original(self):
+        scheduler = PreScheduler()
+        for seed in range(5):
+            stream = make_stream(seed=seed)
+            assert np.allclose(scheduler.roundtrip(stream), stream)
+
+    def test_roundtrip_dense_stream(self):
+        scheduler = PreScheduler()
+        stream = make_stream(sparsity=0.0, seed=1)
+        assert np.allclose(scheduler.roundtrip(stream), stream)
+
+    def test_roundtrip_all_zero_stream(self):
+        scheduler = PreScheduler()
+        stream = np.zeros((30, 16))
+        assert np.allclose(scheduler.roundtrip(stream), stream)
+
+    def test_compression_ratio_grows_with_sparsity(self):
+        scheduler = PreScheduler()
+        ratios = []
+        for sparsity in (0.0, 0.3, 0.6, 0.9):
+            stream = make_stream(rows=120, sparsity=sparsity, seed=2)
+            ratios.append(scheduler.compress(stream).compression_ratio)
+        assert ratios == sorted(ratios)
+        assert ratios[0] == pytest.approx(1.0)
+
+    def test_compression_ratio_capped_by_staging_depth(self):
+        scheduler = PreScheduler()
+        stream = make_stream(rows=90, sparsity=0.99, seed=3)
+        assert scheduler.compress(stream).compression_ratio <= 3.0 + 1e-9
+
+    def test_scheduled_rows_never_exceed_dense_rows(self):
+        scheduler = PreScheduler()
+        for sparsity in (0.0, 0.5, 0.9):
+            stream = make_stream(rows=50, sparsity=sparsity, seed=4)
+            scheduled = scheduler.compress(stream)
+            assert scheduled.scheduled_row_count <= scheduled.dense_rows
+
+    def test_every_nonzero_value_stored_exactly_once(self):
+        scheduler = PreScheduler()
+        stream = make_stream(rows=40, sparsity=0.7, seed=5)
+        scheduled = scheduler.compress(stream)
+        stored = sorted(
+            value
+            for row in scheduled.rows
+            for value, idx in zip(row.values, row.indices)
+            if idx is not None
+        )
+        original = sorted(stream[stream != 0].tolist())
+        assert np.allclose(stored, original)
+
+    def test_rejects_wrong_lane_count(self):
+        scheduler = PreScheduler()
+        with pytest.raises(ValueError):
+            scheduler.compress(np.zeros((10, 8)))
+
+    def test_works_with_two_deep_pattern(self):
+        scheduler = PreScheduler(ConnectivityPattern(staging_depth=2))
+        stream = make_stream(rows=40, sparsity=0.7, seed=6)
+        assert np.allclose(scheduler.roundtrip(stream), stream)
+        assert scheduler.compress(stream).compression_ratio <= 2.0 + 1e-9
+
+    def test_footprint_values(self):
+        scheduler = PreScheduler()
+        stream = make_stream(rows=40, sparsity=0.8, seed=7)
+        scheduled = scheduler.compress(stream)
+        assert scheduled.footprint_values() == scheduled.scheduled_row_count * 16
+
+
+class TestBacksideScheduler:
+    def test_storage_savings_track_sparsity(self):
+        backside = BacksideScheduler()
+        sparse_saving = backside.storage_savings(make_stream(sparsity=0.8, seed=8))
+        dense_saving = backside.storage_savings(make_stream(sparsity=0.0, seed=8))
+        assert sparse_saving > dense_saving
+        assert dense_saving == pytest.approx(0.0)
+
+    def test_iterative_scheduler_takes_levels_cycles_per_row(self):
+        backside = BacksideScheduler(iterative=True)
+        block = make_stream(rows=30, sparsity=0.5, seed=9)
+        scheduled, cycles = backside.schedule_output_block(block)
+        levels = len(ConnectivityPattern().level_groups())
+        assert cycles == scheduled.scheduled_row_count * levels
+
+    def test_non_iterative_scheduler_is_single_cycle_per_row(self):
+        backside = BacksideScheduler(iterative=False)
+        block = make_stream(rows=30, sparsity=0.5, seed=10)
+        scheduled, cycles = backside.schedule_output_block(block)
+        assert cycles == scheduled.scheduled_row_count
+
+    def test_scheduled_form_decompresses_identically(self):
+        backside = BacksideScheduler()
+        block = make_stream(rows=30, sparsity=0.5, seed=11)
+        scheduled, _ = backside.schedule_output_block(block)
+        assert np.allclose(backside.pre_scheduler.decompress(scheduled), block)

@@ -1,0 +1,112 @@
+"""Tests for the sparse interconnect connectivity pattern."""
+
+import pytest
+
+from repro.core.interconnect import ConnectivityPattern, PAPER_LEVEL_GROUPS
+
+
+class TestDefaultPattern:
+    def setup_method(self):
+        self.pattern = ConnectivityPattern()
+
+    def test_default_has_eight_options_per_lane(self):
+        assert self.pattern.options_per_lane == 8
+
+    def test_first_option_is_dense_position(self):
+        for lane in range(16):
+            assert self.pattern.options_for_lane(lane)[0] == (0, lane)
+
+    def test_lookahead_options_stay_in_lane(self):
+        for lane in range(16):
+            options = self.pattern.options_for_lane(lane)
+            assert options[1] == (1, lane)
+            assert options[2] == (2, lane)
+
+    def test_paper_lookaside_pattern_for_lane8(self):
+        # Fig. 9: lane 8 can reach lanes 7, 9, 6, 10 and 5 at the steps shown.
+        options = self.pattern.options_for_lane(8)
+        assert options == (
+            (0, 8), (1, 8), (2, 8), (1, 7), (1, 9), (2, 6), (2, 10), (1, 5),
+        )
+
+    def test_lane_indices_wrap_around(self):
+        options = self.pattern.options_for_lane(0)
+        assert (1, 15) in options     # i-1 wraps
+        assert (2, 14) in options     # i-2 wraps
+        assert (1, 13) in options     # i-3 wraps
+
+    def test_every_lane_has_unique_option_positions(self):
+        for lane in range(16):
+            options = self.pattern.options_for_lane(lane)
+            assert len(set(options)) == len(options)
+
+    def test_select_bits_is_three(self):
+        assert self.pattern.select_bits() == 3
+
+
+class TestLevelGroups:
+    def test_paper_level_groups_are_conflict_free(self):
+        pattern = ConnectivityPattern()
+        assert pattern.validate_level_groups(PAPER_LEVEL_GROUPS)
+
+    def test_greedy_groups_match_paper_for_default_geometry(self):
+        pattern = ConnectivityPattern()
+        groups = [tuple(g) for g in pattern.level_groups()]
+        assert groups == [tuple(g) for g in PAPER_LEVEL_GROUPS]
+
+    def test_greedy_groups_cover_all_lanes_exactly_once(self):
+        pattern = ConnectivityPattern(lanes=16)
+        lanes = [lane for group in pattern.level_groups() for lane in group]
+        assert sorted(lanes) == list(range(16))
+
+    def test_greedy_groups_are_conflict_free_for_other_geometries(self):
+        for lanes in (4, 8, 12, 32):
+            pattern = ConnectivityPattern(lanes=lanes)
+            assert pattern.validate_level_groups(pattern.level_groups())
+
+    def test_overlapping_group_detected_as_invalid(self):
+        pattern = ConnectivityPattern()
+        # Lanes 0 and 1 share option positions (lane 1's (1,0) vs lane 0's (1,0)).
+        assert not pattern.validate_level_groups([[0, 1]])
+
+
+class TestReducedDepth:
+    def test_two_deep_buffer_keeps_five_options(self):
+        # The Fig. 19 low-cost design point: lookahead 1, 5 movements.
+        pattern = ConnectivityPattern(staging_depth=2)
+        assert pattern.options_per_lane == 5
+        for step, _ in pattern.template:
+            assert step <= 1
+
+    def test_depth_one_is_dense_only(self):
+        pattern = ConnectivityPattern(staging_depth=1)
+        assert pattern.options_per_lane == 1
+        assert pattern.options_for_lane(3) == ((0, 3),)
+
+    def test_promotion_map_reaches_every_position(self):
+        pattern = ConnectivityPattern()
+        reachable = pattern.promotion_map()
+        # Every staging position within the depth must be readable by at
+        # least its own lane's dense/lookahead option.
+        for lane in range(16):
+            for step in range(3):
+                assert (step, lane) in reachable
+
+
+class TestValidation:
+    def test_rejects_zero_lanes(self):
+        with pytest.raises(ValueError):
+            ConnectivityPattern(lanes=0)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            ConnectivityPattern(staging_depth=0)
+
+    def test_rejects_template_without_dense_position(self):
+        with pytest.raises(ValueError):
+            ConnectivityPattern(template=[(1, 0), (2, 0)])
+
+    def test_custom_template_is_respected(self):
+        pattern = ConnectivityPattern(template=[(0, 0), (1, 0), (1, 1)])
+        assert pattern.options_per_lane == 3
+        assert pattern.options_for_lane(5) == ((0, 5), (1, 5), (1, 6))

@@ -1,0 +1,75 @@
+"""Tests for sparsity monitoring and power gating."""
+
+import numpy as np
+import pytest
+
+from repro.core.power_gating import PowerGateController, SparsityMonitor
+
+
+class TestSparsityMonitor:
+    def test_observe_counts_zeros(self):
+        monitor = SparsityMonitor()
+        record = monitor.observe("layer1", np.array([0.0, 1.0, 0.0, 2.0]))
+        assert record.zeros == 2
+        assert record.total == 4
+        assert record.sparsity == pytest.approx(0.5)
+
+    def test_sparsity_of_unseen_layer_is_zero(self):
+        assert SparsityMonitor().sparsity_of("nope") == 0.0
+
+    def test_latest_observation_wins(self):
+        monitor = SparsityMonitor()
+        monitor.observe("layer", np.zeros(10))
+        monitor.observe("layer", np.ones(10))
+        assert monitor.sparsity_of("layer") == 0.0
+
+    def test_records_listing(self):
+        monitor = SparsityMonitor()
+        monitor.observe("a", np.zeros(4))
+        monitor.observe("b", np.ones(4))
+        assert [r.layer for r in monitor.records()] == ["a", "b"]
+
+    def test_empty_tensor(self):
+        record = SparsityMonitor().observe("empty", np.zeros(0))
+        assert record.sparsity == 0.0
+
+
+class TestPowerGateController:
+    def test_enables_when_producer_is_sparse(self):
+        controller = PowerGateController(threshold=0.05)
+        controller.observe_output("conv1", np.array([0.0, 0.0, 1.0, 2.0]))
+        assert controller.should_enable("conv2", producer_layer="conv1")
+
+    def test_disables_when_producer_is_dense(self):
+        controller = PowerGateController(threshold=0.05)
+        controller.observe_output("glu1", np.ones(100))
+        assert not controller.should_enable("glu2", producer_layer="glu1")
+
+    def test_default_enabled_without_measurement(self):
+        controller = PowerGateController()
+        assert controller.should_enable("conv1")
+
+    def test_static_disable_overrides_everything(self):
+        controller = PowerGateController(static_disable=True)
+        controller.observe_output("conv1", np.zeros(100))
+        assert not controller.should_enable("conv2", producer_layer="conv1")
+
+    def test_gated_fraction(self):
+        controller = PowerGateController(threshold=0.5)
+        controller.observe_output("sparse", np.zeros(10))
+        controller.observe_output("dense", np.ones(10))
+        controller.should_enable("a", producer_layer="sparse")
+        controller.should_enable("b", producer_layer="dense")
+        assert controller.gated_fraction() == pytest.approx(0.5)
+
+    def test_gated_fraction_without_decisions(self):
+        assert PowerGateController().gated_fraction() == 0.0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PowerGateController(threshold=1.5)
+
+    def test_decisions_are_recorded(self):
+        controller = PowerGateController()
+        controller.should_enable("layer1")
+        assert controller.decisions() == {"layer1": True}

@@ -1,0 +1,120 @@
+"""Tests pinning down the scheduler's static priority semantics.
+
+These encode the paper's priority order explicitly (dense, lookahead 1,
+lookahead 2, then the five lookaside options) and the sharing of the MS
+select signals between the A- and B-side multiplexers of a lane.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PEConfig
+from repro.core.interconnect import ConnectivityPattern
+from repro.core.pe import TensorDashPE
+from repro.core.scheduler import BatchScheduler, HardwareScheduler
+
+
+class TestPriorityOrder:
+    def setup_method(self):
+        self.scheduler = HardwareScheduler()
+
+    def _window_with(self, positions):
+        window = np.zeros((3, 16), dtype=bool)
+        for position in positions:
+            window[position] = True
+        return window
+
+    def test_dense_preferred_over_lookahead(self):
+        window = self._window_with([(0, 8), (1, 8), (2, 8)])
+        schedule = self.scheduler.schedule_step(window)
+        assert schedule.selections[8] == (0, 8)
+
+    def test_lookahead1_preferred_over_lookahead2_when_both_rows_full(self):
+        # Rows +1 and +2 fully effectual, row +0 empty: every lane has both
+        # lookahead options available at its turn and must take the nearer one.
+        window = np.zeros((3, 16), dtype=bool)
+        window[1, :] = True
+        window[2, :] = True
+        schedule = self.scheduler.schedule_step(window)
+        for lane, selection in enumerate(schedule.selections):
+            assert selection == (1, lane)
+
+    def test_lookahead2_used_when_it_is_the_only_work(self):
+        window = np.zeros((3, 16), dtype=bool)
+        window[2, :] = True
+        schedule = self.scheduler.schedule_step(window)
+        for lane, selection in enumerate(schedule.selections):
+            assert selection == (2, lane)
+        assert schedule.advance == 3
+
+    def test_earliest_level_lane_steals_via_lookaside(self):
+        """Scheduling levels run in order {0,5,10}, {1,6,11}, ...: lane 10
+        (level 0) grabs (1, 9) and lane 6 (level 1) grabs (1, 7) via their
+        lookaside options before the lanes those positions "belong to"
+        (7, 8, 9 in later levels) ever get a chance."""
+        window = self._window_with([(1, 7), (1, 9)])
+        schedule = self.scheduler.schedule_step(window)
+        assert schedule.selections[10] == (1, 9)
+        assert schedule.selections[6] == (1, 7)
+        for lane in (7, 8, 9):
+            assert schedule.selections[lane] is None
+
+    def test_idle_lane_when_nothing_reachable(self):
+        # Only a position no option of lane 8 can reach: (1, 12).
+        window = self._window_with([(1, 12)])
+        schedule = self.scheduler.schedule_step(window)
+        assert schedule.selections[8] is None
+
+    def test_earlier_level_lane_wins_contended_position(self):
+        """Lane 5 (level 0) takes (1, 4) before lane 3 (level 3) can."""
+        window = self._window_with([(1, 4)])
+        schedule = self.scheduler.schedule_step(window)
+        takers = [lane for lane, s in enumerate(schedule.selections) if s == (1, 4)]
+        assert takers == [5]
+
+
+class TestSharedSelectSignals:
+    def test_ms_signal_moves_both_operands_in_tandem(self):
+        """The same (step, lane) is applied to the A and B streams of a lane,
+        so the products always pair the original operands."""
+        rng = np.random.default_rng(0)
+        rows, lanes = 30, 16
+        a = rng.uniform(1.0, 2.0, size=(rows, lanes))
+        b = rng.uniform(1.0, 2.0, size=(rows, lanes))
+        b[rng.random((rows, lanes)) < 0.5] = 0.0
+        pe = TensorDashPE(PEConfig())
+        result, schedules = pe.process(a, b)
+        # Reconstruct the accumulated output strictly from the schedules,
+        # reading both operands at the scheduled position.
+        position = 0
+        accumulated = 0.0
+        for schedule in schedules:
+            for selection in schedule.selections:
+                if selection is None:
+                    continue
+                step, lane = selection
+                accumulated += a[position + step, lane] * b[position + step, lane]
+            position += min(schedule.advance, rows - position)
+        assert accumulated == pytest.approx(result.output, rel=1e-12)
+
+
+class TestBatchSchedulerWithOtherGeometries:
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_matches_reference_for_depth(self, depth):
+        pattern = ConnectivityPattern(staging_depth=depth)
+        reference = HardwareScheduler(pattern)
+        batch = BatchScheduler(pattern)
+        rng = np.random.default_rng(depth)
+        for _ in range(20):
+            stream = rng.random((25, 16)) > 0.6
+            expected, _ = reference.process_stream(stream)
+            assert batch.stream_cycles(stream) == expected
+
+    def test_eight_lane_geometry(self):
+        pattern = ConnectivityPattern(lanes=8, staging_depth=3)
+        reference = HardwareScheduler(pattern)
+        batch = BatchScheduler(pattern)
+        rng = np.random.default_rng(99)
+        stream = rng.random((40, 8)) > 0.6
+        expected, _ = reference.process_stream(stream)
+        assert batch.stream_cycles(stream) == expected

@@ -1,0 +1,97 @@
+"""Tests for the operand staging buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.staging import StagingBuffer
+
+
+def make_stream(rows=10, lanes=16, sparsity=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.random((rows, lanes)).astype(np.float32)
+    values[rng.random((rows, lanes)) < sparsity] = 0.0
+    return values
+
+
+class TestWindow:
+    def test_window_shows_first_depth_rows(self):
+        stream = make_stream(rows=10)
+        buffer = StagingBuffer(stream, depth=3)
+        assert np.array_equal(buffer.window(), stream[:3])
+
+    def test_window_pads_with_zeros_past_stream_end(self):
+        stream = make_stream(rows=2)
+        buffer = StagingBuffer(stream, depth=3)
+        window = buffer.window()
+        assert np.array_equal(window[:2], stream)
+        assert np.all(window[2] == 0)
+
+    def test_zero_vector_matches_values(self):
+        stream = make_stream()
+        buffer = StagingBuffer(stream, depth=3)
+        assert np.array_equal(buffer.zero_vector(), buffer.window() == 0)
+        assert np.array_equal(buffer.nonzero_vector(), ~buffer.zero_vector())
+
+    def test_value_at_reads_through_window(self):
+        stream = make_stream()
+        buffer = StagingBuffer(stream, depth=3)
+        assert buffer.value_at(1, 5) == float(stream[1, 5])
+
+    def test_value_at_past_end_reads_zero(self):
+        stream = make_stream(rows=2)
+        buffer = StagingBuffer(stream, depth=3)
+        assert buffer.value_at(2, 0) == 0.0
+
+    def test_value_at_rejects_bad_step(self):
+        buffer = StagingBuffer(make_stream(), depth=3)
+        with pytest.raises(IndexError):
+            buffer.value_at(3, 0)
+
+
+class TestAdvance:
+    def test_advance_moves_window(self):
+        stream = make_stream(rows=10)
+        buffer = StagingBuffer(stream, depth=3)
+        buffer.advance(2)
+        assert np.array_equal(buffer.window(), stream[2:5])
+
+    def test_advance_caps_at_stream_end(self):
+        buffer = StagingBuffer(make_stream(rows=4), depth=3)
+        assert buffer.advance(3) == 3
+        assert buffer.advance(3) == 1
+        assert buffer.exhausted
+
+    def test_advance_rejects_negative(self):
+        buffer = StagingBuffer(make_stream(), depth=3)
+        with pytest.raises(ValueError):
+            buffer.advance(-1)
+
+    def test_visible_rows_shrinks_near_end(self):
+        buffer = StagingBuffer(make_stream(rows=4), depth=3)
+        assert buffer.visible_rows == 3
+        buffer.advance(3)
+        assert buffer.visible_rows == 1
+
+    def test_reset_rewinds(self):
+        stream = make_stream()
+        buffer = StagingBuffer(stream, depth=3)
+        buffer.advance(5)
+        buffer.reset()
+        assert np.array_equal(buffer.window(), stream[:3])
+
+    def test_iteration_yields_raw_rows(self):
+        stream = make_stream(rows=5)
+        buffer = StagingBuffer(stream, depth=3)
+        rows = list(buffer)
+        assert len(rows) == 5
+        assert np.array_equal(np.stack(rows), stream)
+
+
+class TestValidation:
+    def test_rejects_non_2d_stream(self):
+        with pytest.raises(ValueError):
+            StagingBuffer(np.zeros((3, 4, 5)), depth=3)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            StagingBuffer(np.zeros((4, 16)), depth=0)

@@ -1,0 +1,106 @@
+"""Integration tests: the full train -> trace -> simulate -> account pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AcceleratorConfig, PEConfig
+from repro.models import build_dataset, build_model
+from repro.models.registry import build_pruning_hook
+from repro.nn.optim import MomentumSGD
+from repro.simulation import ExperimentRunner
+from repro.training import Trainer, TrainingConfig
+
+
+def run_workload(name, epochs=2, batches=2, batch_size=8, max_groups=32, seed=0):
+    model = build_model(name, seed=seed)
+    dataset = build_dataset(name, seed=seed)
+    optimizer = MomentumSGD(model.parameters(), lr=0.01)
+    hook = build_pruning_hook(name, optimizer)
+    trainer = Trainer(
+        model,
+        optimizer,
+        config=TrainingConfig(epochs=epochs, batches_per_epoch=batches, batch_size=batch_size),
+        pruning_hook=hook,
+    )
+    trace = trainer.train(dataset, model_name=name)
+    runner = ExperimentRunner(max_groups=max_groups)
+    return trace, runner, runner.run_final_epoch(trace)
+
+
+class TestHeadlineBehaviour:
+    def test_relu_workload_shows_meaningful_speedup(self):
+        _, _, result = run_workload("alexnet")
+        assert result.speedup() > 1.3
+
+    def test_gcn_shows_no_speedup_and_no_slowdown(self):
+        _, _, result = run_workload("gcn")
+        assert result.speedup() == pytest.approx(1.0, abs=0.05)
+        assert result.speedup() >= 1.0
+
+    def test_densenet_gradient_operation_is_weakest(self):
+        """BN between conv and ReLU absorbs gradient sparsity (paper 4.1)."""
+        _, _, result = run_workload("densenet121", epochs=1, batches=1, batch_size=4, max_groups=16)
+        speedups = result.per_operation_speedups()
+        assert speedups["AxG"] <= speedups["AxW"] + 0.05
+
+    def test_pruned_resnet_trace_has_sparse_weights(self):
+        trace, _, _ = run_workload("resnet50_DS90", epochs=1, batches=2, batch_size=4, max_groups=16)
+        assert trace.final_epoch().mean_sparsity("weights") > 0.5
+
+    def test_speedup_never_exceeds_staging_cap(self):
+        for name in ("alexnet", "squeezenet"):
+            _, _, result = run_workload(name, epochs=1, batches=1, batch_size=4, max_groups=16)
+            for value in result.per_operation_speedups().values():
+                assert value <= 3.0 + 1e-9
+
+    def test_energy_efficiency_ordering(self):
+        """Core efficiency >= overall efficiency >= 1 for sparse workloads."""
+        _, runner, result = run_workload("vgg16", epochs=1, batches=1, batch_size=4, max_groups=16)
+        report = runner.energy_report(result)
+        assert report.core_efficiency >= report.overall_efficiency >= 1.0
+
+
+class TestConfigurationSweeps:
+    @pytest.fixture(scope="class")
+    def traced_alexnet(self):
+        trace, runner, result = run_workload("alexnet", epochs=1, batches=1, batch_size=4, max_groups=24)
+        return trace
+
+    def test_fewer_rows_per_tile_is_at_least_as_fast(self, traced_alexnet):
+        """Fig. 17 direction: 1-row tiles >= 4-row tiles >= 8-row tiles."""
+        speedups = {}
+        for rows in (1, 4, 8):
+            config = AcceleratorConfig().with_tile(rows=rows)
+            runner = ExperimentRunner(config, max_groups=24)
+            speedups[rows] = runner.run_final_epoch(traced_alexnet).speedup()
+        assert speedups[1] >= speedups[4] - 1e-9
+        assert speedups[4] >= speedups[8] - 1e-9
+
+    def test_deeper_staging_is_at_least_as_fast(self, traced_alexnet):
+        """Fig. 19 direction: 3-deep staging >= 2-deep staging."""
+        speedups = {}
+        for depth in (2, 3):
+            config = AcceleratorConfig(pe=PEConfig(staging_depth=depth))
+            runner = ExperimentRunner(config, max_groups=24)
+            speedups[depth] = runner.run_final_epoch(traced_alexnet).speedup()
+        assert speedups[3] >= speedups[2] - 1e-9
+
+    def test_column_count_does_not_change_row_schedules(self, traced_alexnet):
+        """Fig. 18 direction: columns share the schedule, speedup barely moves."""
+        speedups = {}
+        for columns in (4, 16):
+            config = AcceleratorConfig().with_tile(columns=columns)
+            runner = ExperimentRunner(config, max_groups=24)
+            speedups[columns] = runner.run_final_epoch(traced_alexnet).speedup()
+        assert speedups[16] == pytest.approx(speedups[4], rel=0.15)
+
+
+class TestSpeedupOverTime:
+    def test_fig14_series_is_stable(self):
+        trace, runner, _ = run_workload("squeezenet", epochs=3, batches=2, batch_size=4, max_groups=16)
+        series = runner.run_over_training(trace)
+        speedups = [point.speedup() for point in series]
+        assert len(speedups) == 3
+        assert all(1.0 <= s <= 3.0 for s in speedups)
+        # The paper reports fairly stable speedups across training.
+        assert max(speedups) - min(speedups) < 1.0

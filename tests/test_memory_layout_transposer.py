@@ -1,0 +1,149 @@
+"""Tests for the 16x16 grouped tensor layout and the transposers."""
+
+import numpy as np
+import pytest
+
+from repro.memory.layout import GroupedTensorLayout, TensorGroup
+from repro.memory.transposer import Transposer, TransposerArray
+
+
+class TestGroupedLayout:
+    def test_group_count_for_aligned_shape(self):
+        layout = GroupedTensorLayout()
+        assert layout.group_count((32, 32, 4)) == 2 * 2 * 4
+
+    def test_group_count_for_ragged_shape(self):
+        layout = GroupedTensorLayout()
+        assert layout.group_count((17, 18, 3)) == 2 * 2 * 3
+
+    def test_roundtrip_aligned(self):
+        rng = np.random.default_rng(0)
+        layout = GroupedTensorLayout()
+        tensor = rng.normal(size=(32, 16, 4)).astype(np.float32)
+        packed = layout.group_all(tensor)
+        assert np.allclose(layout.ungroup(packed, tensor.shape), tensor)
+
+    def test_roundtrip_ragged(self):
+        rng = np.random.default_rng(1)
+        layout = GroupedTensorLayout()
+        tensor = rng.normal(size=(18, 21, 5)).astype(np.float32)
+        packed = layout.group_all(tensor)
+        assert np.allclose(layout.ungroup(packed, tensor.shape), tensor)
+
+    def test_group_block_holds_contiguous_channels(self):
+        rng = np.random.default_rng(2)
+        layout = GroupedTensorLayout()
+        tensor = rng.normal(size=(32, 20, 3)).astype(np.float32)
+        group = TensorGroup(channel_start=16, row_start=0, column=1)
+        block = layout.extract_group(tensor, group)
+        assert np.allclose(block[2], tensor[16:32, 2, 1])
+
+    def test_channel_block_access(self):
+        rng = np.random.default_rng(3)
+        layout = GroupedTensorLayout()
+        tensor = rng.normal(size=(40, 8, 8)).astype(np.float32)
+        block = layout.channel_block(tensor, row=3, column=5, channel_start=16)
+        assert np.allclose(block, tensor[16:32, 3, 5])
+
+    def test_channel_block_pads_ragged_channels(self):
+        layout = GroupedTensorLayout()
+        tensor = np.ones((10, 4, 4), dtype=np.float32)
+        block = layout.channel_block(tensor, 0, 0, 0)
+        assert block.shape == (16,)
+        assert np.allclose(block[:10], 1.0)
+        assert np.allclose(block[10:], 0.0)
+
+    def test_groups_allocated_in_channel_column_row_order(self):
+        layout = GroupedTensorLayout()
+        groups = layout.groups_for_shape((32, 16, 2))
+        # First groups iterate the channel dimension fastest.
+        assert groups[0] == TensorGroup(0, 0, 0)
+        assert groups[1] == TensorGroup(16, 0, 0)
+        assert groups[2] == TensorGroup(0, 0, 1)
+
+    def test_ungroup_rejects_wrong_group_count(self):
+        layout = GroupedTensorLayout()
+        with pytest.raises(ValueError):
+            layout.ungroup(np.zeros((3, 16, 16)), (32, 32, 4))
+
+    def test_iter_channel_blocks_covers_tensor(self):
+        layout = GroupedTensorLayout()
+        tensor = np.arange(16 * 2 * 2, dtype=np.float32).reshape(16, 2, 2)
+        blocks = list(layout.iter_channel_blocks(tensor))
+        assert len(blocks) == 4
+        total = sum(float(b.sum()) for b in blocks)
+        assert total == pytest.approx(float(tensor.sum()))
+
+    def test_rejects_bad_group_dimensions(self):
+        with pytest.raises(ValueError):
+            GroupedTensorLayout(group_channels=0)
+
+
+class TestTransposer:
+    def test_transpose_group(self):
+        rng = np.random.default_rng(4)
+        group = rng.normal(size=(16, 16)).astype(np.float32)
+        transposer = Transposer()
+        assert np.allclose(transposer.transpose_group(group), group.T)
+
+    def test_read_row_is_transposed_view(self):
+        rng = np.random.default_rng(5)
+        group = rng.normal(size=(16, 16)).astype(np.float32)
+        transposer = Transposer()
+        transposer.load_group(group)
+        assert np.allclose(transposer.read_row(3), group[:, 3])
+
+    def test_read_block_is_passthrough(self):
+        rng = np.random.default_rng(6)
+        group = rng.normal(size=(16, 16)).astype(np.float32)
+        transposer = Transposer()
+        transposer.load_group(group)
+        assert np.allclose(transposer.read_block(7), group[7])
+
+    def test_access_counters(self):
+        transposer = Transposer()
+        transposer.load_group(np.zeros((16, 16)))
+        transposer.read_row(0)
+        transposer.read_row(1)
+        assert transposer.loads == 1
+        assert transposer.reads == 2
+
+    def test_read_before_load_raises(self):
+        with pytest.raises(RuntimeError):
+            Transposer().read_row(0)
+
+    def test_rejects_wrong_group_shape(self):
+        with pytest.raises(ValueError):
+            Transposer().load_group(np.zeros((8, 16)))
+
+    def test_layout_plus_transposer_recover_transposed_tensor(self):
+        """End to end: grouped storage + transposer yields the backward-pass view."""
+        rng = np.random.default_rng(7)
+        layout = GroupedTensorLayout()
+        tensor = rng.normal(size=(16, 16, 1)).astype(np.float32)
+        packed = layout.group_all(tensor)
+        transposer = Transposer()
+        transposed = transposer.transpose_group(packed[0])
+        # Block r of the group is channels at row r; its transpose serves
+        # one channel across all 16 rows, which is the weight/gradient
+        # regrouping the backward pass needs.
+        assert np.allclose(transposed[3], tensor[3, :, 0])
+
+
+class TestTransposerArray:
+    def test_round_robin_dispatch(self):
+        array = TransposerArray(count=3)
+        group = np.zeros((16, 16))
+        for _ in range(6):
+            array.transpose_group(group)
+        assert array.total_loads == 6
+        assert all(t.loads == 2 for t in array.transposers)
+
+    def test_total_reads(self):
+        array = TransposerArray(count=2)
+        array.transpose_group(np.zeros((16, 16)))
+        assert array.total_reads == 16
+
+    def test_rejects_zero_transposers(self):
+        with pytest.raises(ValueError):
+            TransposerArray(count=0)

@@ -1,0 +1,168 @@
+"""Tests for the model zoo and its registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    build_alexnet,
+    build_densenet121,
+    build_gcn,
+    build_img2txt,
+    build_resnet50,
+    build_snli,
+    build_squeezenet,
+    build_vgg16,
+)
+from repro.models.registry import (
+    MODEL_REGISTRY,
+    PAPER_MODELS,
+    available_models,
+    build_dataset,
+    build_model,
+    build_pruning_hook,
+)
+from repro.nn.losses import CrossEntropyLoss
+
+
+IMAGE_BUILDERS = {
+    "alexnet": build_alexnet,
+    "vgg16": build_vgg16,
+    "resnet50": build_resnet50,
+    "densenet121": build_densenet121,
+    "squeezenet": build_squeezenet,
+}
+
+
+class TestImageModels:
+    @pytest.mark.parametrize("name", sorted(IMAGE_BUILDERS))
+    def test_forward_backward_shapes(self, name):
+        model = IMAGE_BUILDERS[name](num_classes=10)
+        x = np.random.default_rng(0).normal(size=(2, 3, 32, 32)).astype(np.float32)
+        x = np.maximum(x, 0.0)
+        logits = model(x)
+        assert logits.shape == (2, 10)
+        loss = CrossEntropyLoss()
+        loss(logits, np.array([1, 2]))
+        grad = model.backward(loss.backward())
+        assert grad.shape == x.shape
+
+    @pytest.mark.parametrize("name", sorted(IMAGE_BUILDERS))
+    def test_has_traceable_conv_layers(self, name):
+        model = IMAGE_BUILDERS[name]()
+        traceable = model.traceable_modules()
+        assert len(traceable) >= 5
+
+    def test_relu_models_produce_activation_sparsity(self):
+        """After a forward pass, inner conv inputs carry ReLU-induced zeros."""
+        model = build_alexnet()
+        x = np.abs(np.random.default_rng(1).normal(size=(2, 3, 32, 32))).astype(np.float32)
+        model(x)
+        inner_convs = model.traceable_modules()[1:5]
+        sparsities = []
+        for layer in inner_convs:
+            operands = layer.trace_operands()
+            activations = operands.get("activations")
+            if activations is not None:
+                sparsities.append(float(np.mean(activations == 0)))
+        assert max(sparsities) > 0.2
+
+    def test_resnet_is_deeper_than_alexnet(self):
+        assert len(build_resnet50().traceable_modules()) > len(
+            build_alexnet().traceable_modules()
+        )
+
+    def test_densenet_uses_batchnorm_before_relu(self):
+        from repro.nn import BatchNorm2D
+
+        model = build_densenet121()
+        assert any(isinstance(m, BatchNorm2D) for m in model.modules())
+
+    def test_width_multiplier_scales_parameters(self):
+        small = build_vgg16(width_multiplier=0.5).parameter_count()
+        large = build_vgg16(width_multiplier=1.0).parameter_count()
+        assert large > small
+
+
+class TestSequenceModels:
+    def test_img2txt_forward_backward(self):
+        model = build_img2txt(vocab_size=64)
+        x = np.abs(np.random.default_rng(2).normal(size=(2, 3, 32, 32))).astype(np.float32)
+        logits = model(x)
+        assert logits.shape == (2, 64)
+        loss = CrossEntropyLoss()
+        loss(logits, np.array([3, 7]))
+        model.backward(loss.backward())
+
+    def test_snli_forward_backward(self):
+        model = build_snli(vocab_size=128)
+        tokens = np.random.default_rng(3).integers(0, 128, size=(4, 16))
+        logits = model(tokens)
+        assert logits.shape == (4, 3)
+        loss = CrossEntropyLoss()
+        loss(logits, np.array([0, 1, 2, 1]))
+        model.backward(loss.backward())
+
+    def test_gcn_forward_backward(self):
+        model = build_gcn(vocab_size=128, sequence_length=20, num_classes=128)
+        tokens = np.random.default_rng(4).integers(0, 128, size=(4, 20))
+        logits = model(tokens)
+        assert logits.shape == (4, 128)
+        loss = CrossEntropyLoss()
+        loss(logits, np.array([5, 6, 7, 8]))
+        model.backward(loss.backward())
+
+    def test_gcn_has_virtually_no_activation_sparsity(self):
+        """The key GCN property: gated linear units produce no zeros."""
+        model = build_gcn(vocab_size=128, sequence_length=20, num_classes=128)
+        tokens = np.random.default_rng(5).integers(0, 128, size=(8, 20))
+        model(tokens)
+        sparsities = []
+        for layer in model.traceable_modules():
+            activations = layer.trace_operands().get("activations")
+            if activations is not None:
+                sparsities.append(float(np.mean(activations == 0)))
+        assert max(sparsities) < 0.05
+
+    def test_snli_relu_encoder_produces_sparsity(self):
+        model = build_snli(vocab_size=128)
+        tokens = np.random.default_rng(6).integers(0, 128, size=(8, 16))
+        model(tokens)
+        sparsities = []
+        for layer in model.traceable_modules():
+            activations = layer.trace_operands().get("activations")
+            if activations is not None:
+                sparsities.append(float(np.mean(activations == 0)))
+        assert max(sparsities) > 0.2
+
+
+class TestRegistry:
+    def test_all_paper_models_registered(self):
+        for name in PAPER_MODELS:
+            assert name in MODEL_REGISTRY
+
+    def test_available_models_sorted(self):
+        assert available_models() == sorted(available_models())
+
+    def test_build_model_and_dataset_for_every_entry(self):
+        for name in available_models():
+            model = build_model(name)
+            dataset = build_dataset(name)
+            assert model is not None
+            inputs, labels = dataset.sample_batch(2)
+            assert inputs.shape[0] == 2
+            assert labels.shape[0] == 2
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("not-a-model")
+        with pytest.raises(KeyError):
+            build_dataset("not-a-model")
+
+    def test_pruning_hooks_only_for_pruned_variants(self):
+        assert build_pruning_hook("alexnet") is None
+        assert build_pruning_hook("resnet50_DS90") is not None
+        assert build_pruning_hook("resnet50_SM90") is not None
+
+    def test_registry_descriptions_present(self):
+        for spec in MODEL_REGISTRY.values():
+            assert spec.description

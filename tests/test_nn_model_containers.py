@@ -1,0 +1,149 @@
+"""Tests for Module/Parameter plumbing, Sequential and Graph containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Add, Concat, Conv2D, Flatten, Linear, ReLU, Sequential
+from repro.nn.model import Graph
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_accumulate_grad(self):
+        parameter = Parameter(np.zeros((2, 2)))
+        parameter.accumulate_grad(np.ones((2, 2)))
+        parameter.accumulate_grad(np.ones((2, 2)))
+        assert np.allclose(parameter.grad, 2.0)
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.accumulate_grad(np.ones(3))
+        parameter.zero_grad()
+        assert parameter.grad is None
+
+    def test_sparsity(self):
+        parameter = Parameter(np.array([0.0, 1.0, 0.0, 3.0]))
+        assert parameter.sparsity() == pytest.approx(0.5)
+
+    def test_shape_and_size(self):
+        parameter = Parameter(np.zeros((3, 4)))
+        assert parameter.shape == (3, 4)
+        assert parameter.size == 12
+
+
+class TestModulePlumbing:
+    def test_named_parameters_are_qualified(self):
+        model = Sequential([Linear(4, 3, name="fc1"), Linear(3, 2, name="fc2")])
+        names = dict(model.named_parameters())
+        assert any("layer0" in n and "weight" in n for n in names)
+
+    def test_parameter_count(self):
+        model = Sequential([Linear(4, 3), Linear(3, 2)])
+        assert model.parameter_count() == (4 * 3 + 3) + (3 * 2 + 2)
+
+    def test_train_eval_propagate(self):
+        model = Sequential([Linear(4, 3), ReLU()])
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_traceable_modules_lists_conv_and_linear_only(self):
+        model = Sequential([Conv2D(3, 4, 3), ReLU(), Flatten(), Linear(4, 2)])
+        traceable = model.traceable_modules()
+        assert len(traceable) == 2
+
+    def test_zero_grad_clears_all(self):
+        model = Sequential([Linear(4, 3)])
+        x = np.ones((2, 4), dtype=np.float32)
+        out = model(x)
+        model.backward(np.ones_like(out))
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([Linear(8, 6, rng=rng), ReLU(), Linear(6, 4, rng=rng)])
+        x = rng.normal(size=(3, 8)).astype(np.float32)
+        out = model(x)
+        assert out.shape == (3, 4)
+        grad = model.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_append_and_indexing(self):
+        model = Sequential([Linear(4, 4)])
+        model.append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+
+class TestGraph:
+    def _residual_graph(self):
+        rng = np.random.default_rng(1)
+        graph = Graph(output="out")
+        graph.add_node("fc1", Linear(8, 8, rng=rng, name="fc1"), [Graph.INPUT])
+        graph.add_node("relu1", ReLU(name="relu1"), ["fc1"])
+        graph.add_node("fc2", Linear(8, 8, rng=rng, name="fc2"), ["relu1"])
+        graph.add_node("add", Add(name="add"), ["fc2", Graph.INPUT])
+        graph.add_node("out", ReLU(name="out"), ["add"])
+        return graph
+
+    def test_forward_backward_with_residual(self):
+        graph = self._residual_graph()
+        x = np.random.default_rng(2).normal(size=(4, 8)).astype(np.float32)
+        out = graph(x)
+        assert out.shape == (4, 8)
+        grad = graph.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_residual_input_gradient_includes_skip_path(self):
+        """The input gradient must accumulate both the main and skip paths."""
+        rng = np.random.default_rng(3)
+        graph = Graph(output="add")
+        graph.add_node("fc", Linear(4, 4, rng=rng, name="fc"), [Graph.INPUT])
+        graph.add_node("add", Add(name="add"), ["fc", Graph.INPUT])
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        graph(x)
+        grad = graph.backward(np.ones((2, 4), dtype=np.float32))
+        weight = graph._modules["fc"].weight.data
+        expected = np.ones((2, 4)) @ weight + np.ones((2, 4))
+        assert np.allclose(grad, expected, atol=1e-5)
+
+    def test_concat_graph_splits_gradient(self):
+        rng = np.random.default_rng(4)
+        graph = Graph(output="concat")
+        graph.add_node("a", Linear(4, 3, rng=rng, name="a"), [Graph.INPUT])
+        graph.add_node("b", Linear(4, 5, rng=rng, name="b"), [Graph.INPUT])
+        graph.add_node("concat", Concat(axis=1, name="concat"), ["a", "b"])
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        out = graph(x)
+        assert out.shape == (2, 8)
+        grad = graph.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_rejects_duplicate_node_names(self):
+        graph = Graph(output="x")
+        graph.add_node("x", ReLU(), [Graph.INPUT])
+        with pytest.raises(ValueError):
+            graph.add_node("x", ReLU(), [Graph.INPUT])
+
+    def test_rejects_forward_references(self):
+        graph = Graph(output="later")
+        with pytest.raises(ValueError):
+            graph.add_node("early", ReLU(), ["later"])
+
+    def test_rejects_reserved_input_name(self):
+        graph = Graph(output="x")
+        with pytest.raises(ValueError):
+            graph.add_node("input", ReLU(), ["input"])
+
+    def test_node_names_in_order(self):
+        graph = self._residual_graph()
+        assert graph.node_names() == ["fc1", "relu1", "fc2", "add", "out"]
+
+    def test_backward_before_forward_raises(self):
+        graph = self._residual_graph()
+        with pytest.raises(RuntimeError):
+            graph.backward(np.zeros((1, 8)))

@@ -1,0 +1,127 @@
+"""Tests for normalisation and pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    GlobalAvgPool2D,
+    LayerNorm,
+    MaxPool2D,
+)
+
+
+class TestBatchNorm2D:
+    def test_training_output_is_normalised(self):
+        rng = np.random.default_rng(0)
+        layer = BatchNorm2D(4)
+        x = rng.normal(3.0, 2.0, size=(8, 4, 6, 6)).astype(np.float32)
+        out = layer(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated_in_training(self):
+        layer = BatchNorm2D(2, momentum=0.5)
+        x = np.ones((4, 2, 3, 3), dtype=np.float32) * 10.0
+        layer(x)
+        assert np.all(layer.running_mean > 0)
+
+    def test_eval_mode_uses_running_stats(self):
+        layer = BatchNorm2D(2)
+        x = np.random.default_rng(1).normal(size=(4, 2, 3, 3)).astype(np.float32)
+        layer(x)
+        layer.training = False
+        out_eval = layer(x)
+        # Evaluation output should differ from a perfect re-normalisation.
+        assert out_eval.shape == x.shape
+
+    def test_backward_gradients_sum_to_zero_per_channel(self):
+        """BN backward projects out the mean: channel gradients sum to ~0."""
+        rng = np.random.default_rng(2)
+        layer = BatchNorm2D(3)
+        x = rng.normal(size=(4, 3, 5, 5)).astype(np.float32)
+        out = layer(x)
+        grad_in = layer.backward(rng.normal(size=out.shape).astype(np.float32))
+        assert np.allclose(grad_in.sum(axis=(0, 2, 3)), 0.0, atol=1e-3)
+
+    def test_gradient_absorbs_sparsity(self):
+        """The DenseNet effect: a sparse upstream gradient densifies through BN."""
+        rng = np.random.default_rng(3)
+        layer = BatchNorm2D(4)
+        x = rng.normal(size=(4, 4, 8, 8)).astype(np.float32)
+        layer(x)
+        sparse_grad = rng.normal(size=x.shape).astype(np.float32)
+        sparse_grad[rng.random(x.shape) < 0.6] = 0.0
+        grad_in = layer.backward(sparse_grad)
+        input_sparsity = np.mean(grad_in == 0)
+        upstream_sparsity = np.mean(sparse_grad == 0)
+        assert input_sparsity < 0.05
+        assert upstream_sparsity > 0.5
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            BatchNorm2D(2).backward(np.zeros((1, 2, 3, 3)))
+
+
+class TestBatchNorm1DAndLayerNorm:
+    def test_batchnorm1d_normalises_features(self):
+        rng = np.random.default_rng(4)
+        layer = BatchNorm1D(8)
+        x = rng.normal(5.0, 3.0, size=(32, 8)).astype(np.float32)
+        out = layer(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-4)
+
+    def test_batchnorm1d_backward_shape(self):
+        layer = BatchNorm1D(8)
+        x = np.random.default_rng(5).normal(size=(16, 8)).astype(np.float32)
+        out = layer(x)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_layernorm_normalises_last_dim(self):
+        rng = np.random.default_rng(6)
+        layer = LayerNorm(10)
+        x = rng.normal(2.0, 4.0, size=(5, 10)).astype(np.float32)
+        out = layer(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+
+    def test_layernorm_backward_shape(self):
+        layer = LayerNorm(10)
+        x = np.random.default_rng(7).normal(size=(5, 10)).astype(np.float32)
+        out = layer(x)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+
+class TestPoolingLayers:
+    def test_max_pool_shape_and_backward(self):
+        layer = MaxPool2D(kernel_size=2)
+        x = np.random.default_rng(8).normal(size=(2, 3, 8, 8)).astype(np.float32)
+        out = layer(x)
+        assert out.shape == (2, 3, 4, 4)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert grad.sum() == pytest.approx(out.size)
+
+    def test_avg_pool_shape_and_backward(self):
+        layer = AvgPool2D(kernel_size=2)
+        x = np.ones((1, 2, 4, 4), dtype=np.float32)
+        out = layer(x)
+        assert np.allclose(out, 1.0)
+        grad = layer.backward(np.ones_like(out))
+        assert np.allclose(grad, 0.25)
+
+    def test_global_avg_pool(self):
+        layer = GlobalAvgPool2D()
+        x = np.arange(32, dtype=np.float32).reshape(2, 4, 2, 2)
+        out = layer(x)
+        assert out.shape == (2, 4)
+        assert out[0, 0] == pytest.approx(x[0, 0].mean())
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+        assert np.allclose(grad, 0.25)
+
+    def test_pool_backward_before_forward_raises(self):
+        for layer in (MaxPool2D(2), AvgPool2D(2), GlobalAvgPool2D()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros((1, 1, 2, 2)))

@@ -1,0 +1,104 @@
+"""Tests for the recurrent cells (LSTM, GRU, RNN)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRUCell, LSTMCell, RNNCell
+
+
+class TestRNNCell:
+    def test_forward_shape(self):
+        cell = RNNCell(8, 16)
+        x = np.zeros((4, 8), dtype=np.float32)
+        h = np.zeros((4, 16), dtype=np.float32)
+        assert cell(x, h).shape == (4, 16)
+
+    def test_output_bounded_by_tanh(self):
+        cell = RNNCell(8, 16)
+        rng = np.random.default_rng(0)
+        out = cell(rng.normal(size=(4, 8)).astype(np.float32) * 10,
+                   rng.normal(size=(4, 16)).astype(np.float32) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_backward_produces_gradients(self):
+        cell = RNNCell(8, 16)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        h = rng.normal(size=(4, 16)).astype(np.float32)
+        out = cell(x, h)
+        grad_x, grad_h = cell.backward(np.ones_like(out))
+        assert grad_x.shape == x.shape
+        assert grad_h.shape == h.shape
+        assert cell.input_proj.weight.grad is not None
+
+
+class TestLSTMCell:
+    def test_forward_shapes(self):
+        cell = LSTMCell(8, 16)
+        x = np.zeros((4, 8), dtype=np.float32)
+        h, c = cell.initial_state(4)
+        h_new, c_new = cell(x, (h, c))
+        assert h_new.shape == (4, 16)
+        assert c_new.shape == (4, 16)
+
+    def test_state_persistence_changes_output(self):
+        cell = LSTMCell(8, 16)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 8)).astype(np.float32)
+        state = cell.initial_state(2)
+        h1, c1 = cell(x, state)
+        h2, _ = cell(x, (h1, c1))
+        assert not np.allclose(h1, h2)
+
+    def test_backward_returns_three_gradients(self):
+        cell = LSTMCell(8, 16)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        state = cell.initial_state(4)
+        h_new, _ = cell(x, state)
+        grad_x, grad_h, grad_c = cell.backward(np.ones_like(h_new))
+        assert grad_x.shape == (4, 8)
+        assert grad_h.shape == (4, 16)
+        assert grad_c.shape == (4, 16)
+
+    def test_gates_keep_cell_state_bounded(self):
+        cell = LSTMCell(4, 8)
+        rng = np.random.default_rng(4)
+        state = cell.initial_state(2)
+        for _ in range(50):
+            x = rng.normal(size=(2, 4)).astype(np.float32)
+            h, c = cell(x, state)
+            state = (h, c)
+        assert np.all(np.abs(state[0]) <= 1.0)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            LSTMCell(4, 8).backward(np.zeros((2, 8)))
+
+
+class TestGRUCell:
+    def test_forward_shape(self):
+        cell = GRUCell(8, 16)
+        x = np.zeros((4, 8), dtype=np.float32)
+        h = cell.initial_state(4)
+        assert cell(x, h).shape == (4, 16)
+
+    def test_backward_produces_gradients(self):
+        cell = GRUCell(8, 16)
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        h = cell.initial_state(4)
+        out = cell(x, h)
+        grad_x, grad_h = cell.backward(np.ones_like(out))
+        assert grad_x.shape == x.shape
+        assert grad_h.shape == (4, 16)
+
+    def test_zero_update_gate_interpolation(self):
+        """With zero input and zero state the output stays near zero."""
+        cell = GRUCell(4, 8)
+        out = cell(np.zeros((2, 4), dtype=np.float32), cell.initial_state(2))
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_cells_are_traceable_through_linear_submodules(self):
+        cell = GRUCell(4, 8)
+        assert len(cell.traceable_modules()) == 2

@@ -1,0 +1,71 @@
+"""Tests for inference-mode pre-scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PEConfig
+from repro.simulation.inference import (
+    FullyConnectedInference,
+    conv_activation_groups,
+)
+
+
+def sparse_weights(filters=8, in_features=128, sparsity=0.7, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(filters, in_features))
+    weights[rng.random(weights.shape) < sparsity] = 0.0
+    return weights
+
+
+class TestFullyConnectedInference:
+    def test_prescheduled_cycles_match_dynamic_scheduling(self):
+        """The compressor is the scheduler, so MAC cycles are identical."""
+        inference = FullyConnectedInference()
+        report = inference.analyze_layer(sparse_weights())
+        assert report.weight_prescheduled_cycles == report.dynamic_cycles
+
+    def test_speedup_tracks_weight_sparsity(self):
+        inference = FullyConnectedInference()
+        sparse = inference.analyze_layer(sparse_weights(sparsity=0.8, seed=1))
+        dense = inference.analyze_layer(sparse_weights(sparsity=0.0, seed=1))
+        assert sparse.weight_prescheduled_speedup > dense.weight_prescheduled_speedup
+        assert dense.weight_prescheduled_speedup == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_staging_depth(self):
+        inference = FullyConnectedInference(PEConfig(staging_depth=3))
+        report = inference.analyze_layer(sparse_weights(sparsity=0.95, seed=2))
+        assert report.weight_prescheduled_speedup <= 3.0 + 1e-9
+
+    def test_compression_ratio_reported(self):
+        inference = FullyConnectedInference()
+        report = inference.analyze_layer(sparse_weights(sparsity=0.8, seed=3))
+        assert report.weight_compression_ratio > 1.5
+        assert report.scheduled_weight_values < report.dense_weight_values
+
+    def test_two_deep_configuration_limits_speedup(self):
+        weights = sparse_weights(sparsity=0.9, seed=4)
+        deep = FullyConnectedInference(PEConfig(staging_depth=3)).analyze_layer(weights)
+        shallow = FullyConnectedInference(PEConfig(staging_depth=2)).analyze_layer(weights)
+        assert shallow.weight_prescheduled_speedup <= 2.0 + 1e-9
+        assert shallow.weight_prescheduled_speedup <= deep.weight_prescheduled_speedup + 1e-9
+
+
+class TestConvActivationGroups:
+    def test_sparse_activations_compress(self):
+        rng = np.random.default_rng(5)
+        activations = rng.normal(size=(2, 64, 8, 8))
+        activations[rng.random(activations.shape) < 0.7] = 0.0
+        stats = conv_activation_groups(activations)
+        assert stats["mean_group_compression"] > 1.3
+        assert 0.0 < stats["access_savings"] < 1.0
+
+    def test_dense_activations_do_not_compress(self):
+        rng = np.random.default_rng(6)
+        activations = rng.uniform(0.5, 1.0, size=(1, 32, 4, 4))
+        stats = conv_activation_groups(activations)
+        assert stats["mean_group_compression"] == pytest.approx(1.0)
+        assert stats["access_savings"] == pytest.approx(0.0)
+
+    def test_rejects_non_4d_input(self):
+        with pytest.raises(ValueError):
+            conv_activation_groups(np.zeros((4, 4)))

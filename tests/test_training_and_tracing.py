@@ -1,0 +1,206 @@
+"""Tests for synthetic datasets, the trainer and operand tracing."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_alexnet, build_gcn
+from repro.nn.optim import MomentumSGD
+from repro.training import (
+    SyntheticImageDataset,
+    SyntheticPairDataset,
+    SyntheticSequenceDataset,
+    TraceCollector,
+    Trainer,
+    TrainingConfig,
+)
+
+
+class TestSyntheticDatasets:
+    def test_image_batch_shapes_and_nonnegativity(self):
+        dataset = SyntheticImageDataset(num_classes=5, channels=3, size=16)
+        images, labels = dataset.sample_batch(8)
+        assert images.shape == (8, 3, 16, 16)
+        assert labels.shape == (8,)
+        assert np.all(images >= 0)
+        assert np.all(labels < 5)
+
+    def test_image_dataset_is_class_conditional(self):
+        dataset = SyntheticImageDataset(num_classes=2, size=8, seed=0)
+        images, labels = dataset.sample_batch(256)
+        class0 = images[labels == 0].mean(axis=0)
+        class1 = images[labels == 1].mean(axis=0)
+        assert not np.allclose(class0, class1, atol=0.05)
+
+    def test_image_batches_iterator(self):
+        dataset = SyntheticImageDataset()
+        batches = list(dataset.batches(batch_size=4, num_batches=3))
+        assert len(batches) == 3
+
+    def test_sequence_batch_shapes(self):
+        dataset = SyntheticSequenceDataset(vocab_size=100, sequence_length=12, num_classes=4)
+        tokens, labels = dataset.sample_batch(6)
+        assert tokens.shape == (6, 12)
+        assert np.all(tokens < 100)
+        assert np.all(labels < 4)
+
+    def test_sequence_vocabulary_is_skewed(self):
+        dataset = SyntheticSequenceDataset(vocab_size=50, sequence_length=100)
+        tokens, _ = dataset.sample_batch(64)
+        counts = np.bincount(tokens.reshape(-1), minlength=50)
+        assert counts[0] > counts[25]
+
+    def test_lm_batch_targets_are_shifted(self):
+        dataset = SyntheticSequenceDataset(vocab_size=100, sequence_length=10)
+        inputs, targets = dataset.sample_lm_batch(4)
+        assert inputs.shape == targets.shape == (4, 10)
+
+    def test_pair_dataset(self):
+        dataset = SyntheticPairDataset(vocab_size=64, sequence_length=8)
+        premises, hypotheses, labels = dataset.sample_batch(4)
+        assert premises.shape == hypotheses.shape == (4, 8)
+        assert np.all(labels < 3)
+
+    def test_dataset_len(self):
+        assert len(SyntheticImageDataset(num_classes=10, samples_per_class=64)) == 640
+
+
+class TestTraceCollector:
+    def _traced_alexnet(self):
+        model = build_alexnet()
+        from repro.nn.losses import CrossEntropyLoss
+
+        x = np.abs(np.random.default_rng(0).normal(size=(4, 3, 32, 32))).astype(np.float32)
+        loss = CrossEntropyLoss()
+        logits = model(x)
+        loss(logits, np.array([0, 1, 2, 3]))
+        model.backward(loss.backward())
+        return model
+
+    def test_collects_every_traceable_layer(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector().collect(model, epoch=0)
+        assert len(trace.layers) == len(model.traceable_modules())
+
+    def test_masks_present_when_requested(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector(store_masks=True).collect(model, epoch=0)
+        conv_trace = trace.layers[0]
+        assert conv_trace.activation_mask is not None
+        assert conv_trace.weight_mask is not None
+        assert conv_trace.output_gradient_mask is not None
+
+    def test_masks_absent_when_disabled(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector(store_masks=False).collect(model, epoch=0)
+        assert trace.layers[0].activation_mask is None
+        assert trace.layers[0].activation_sparsity >= 0.0
+
+    def test_conv_layer_metadata(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector().collect(model, epoch=0)
+        conv_trace = trace.layers[0]
+        assert conv_trace.layer_type == "conv"
+        assert conv_trace.kernel == 3
+        assert conv_trace.macs > 0
+
+    def test_fc_layer_metadata(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector().collect(model, epoch=0)
+        fc_traces = [t for t in trace.layers if t.layer_type == "fc"]
+        assert fc_traces
+        assert all(t.kernel == 1 for t in fc_traces)
+
+    def test_conv_batch_clipping(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector(max_batch=2).collect(model, epoch=0)
+        assert trace.layers[0].activation_mask.shape[0] == 2
+
+    def test_operand_sparsity_accessor(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector().collect(model, epoch=0)
+        layer = trace.layers[2]
+        assert layer.operand_sparsity("AxW") == layer.activation_sparsity
+        assert layer.operand_sparsity("AxG") == layer.gradient_sparsity
+        assert layer.operand_sparsity("WxG") == max(
+            layer.gradient_sparsity, layer.activation_sparsity
+        )
+        with pytest.raises(ValueError):
+            layer.operand_sparsity("bogus")
+
+    def test_epoch_mean_sparsity(self):
+        model = self._traced_alexnet()
+        trace = TraceCollector().collect(model, epoch=0)
+        assert 0.0 <= trace.mean_sparsity("activations") <= 1.0
+        assert 0.0 <= trace.mean_sparsity("gradients") <= 1.0
+
+
+class TestTrainer:
+    def test_training_produces_one_trace_per_epoch(self):
+        model = build_alexnet(width_multiplier=0.5)
+        dataset = SyntheticImageDataset(size=32)
+        trainer = Trainer(
+            model,
+            MomentumSGD(model.parameters(), lr=0.01),
+            config=TrainingConfig(epochs=3, batches_per_epoch=1, batch_size=4),
+        )
+        trace = trainer.train(dataset, model_name="alexnet")
+        assert len(trace.epochs) == 3
+        assert trace.model_name == "alexnet"
+        assert len(trainer.epoch_stats) == 3
+
+    def test_loss_decreases_over_training(self):
+        model = build_alexnet(width_multiplier=0.5)
+        dataset = SyntheticImageDataset(num_classes=4, size=32, seed=1)
+        trainer = Trainer(
+            model,
+            MomentumSGD(model.parameters(), lr=0.005),
+            config=TrainingConfig(epochs=6, batches_per_epoch=4, batch_size=8),
+        )
+        trainer.train(dataset, model_name="alexnet")
+        final_loss = trainer.epoch_stats[-1].mean_loss
+        assert np.isfinite(final_loss)
+        assert final_loss < trainer.epoch_stats[0].mean_loss
+
+    def test_pruning_hook_is_invoked(self):
+        calls = []
+        model = build_alexnet(width_multiplier=0.5)
+        dataset = SyntheticImageDataset(size=32)
+        trainer = Trainer(
+            model,
+            MomentumSGD(model.parameters(), lr=0.01),
+            config=TrainingConfig(epochs=2, batches_per_epoch=3, batch_size=4),
+            pruning_hook=lambda m, e, s: calls.append((e, s)),
+        )
+        trainer.train(dataset)
+        assert len(calls) == 6
+
+    def test_gcn_trainer_on_sequences(self):
+        model = build_gcn(vocab_size=64, sequence_length=10, num_classes=64)
+        dataset = SyntheticSequenceDataset(vocab_size=64, sequence_length=10, num_classes=64)
+        trainer = Trainer(
+            model,
+            MomentumSGD(model.parameters(), lr=0.01),
+            config=TrainingConfig(epochs=1, batches_per_epoch=2, batch_size=4),
+        )
+        trace = trainer.train(dataset, model_name="gcn")
+        assert len(trace.epochs) == 1
+
+    def test_training_trace_progress_accessors(self):
+        model = build_alexnet(width_multiplier=0.5)
+        dataset = SyntheticImageDataset(size=32)
+        trainer = Trainer(
+            model,
+            MomentumSGD(model.parameters(), lr=0.01),
+            config=TrainingConfig(epochs=4, batches_per_epoch=1, batch_size=4),
+        )
+        trace = trainer.train(dataset)
+        assert trace.final_epoch().epoch == 3
+        assert trace.epoch_at_progress(0.0).epoch == 0
+        assert trace.epoch_at_progress(1.0).epoch == 3
+        assert trace.epoch_at_progress(0.5).epoch in (1, 2)
+
+    def test_final_loss_requires_training(self):
+        model = build_alexnet(width_multiplier=0.5)
+        trainer = Trainer(model, MomentumSGD(model.parameters(), lr=0.01))
+        with pytest.raises(RuntimeError):
+            trainer.final_loss()
