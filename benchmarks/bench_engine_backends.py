@@ -1,0 +1,144 @@
+"""Microbenchmark: wall-clock comparison of the simulation-engine backends.
+
+Trains the scaled ResNet-50 workload briefly, then simulates its final
+epoch trace through each registered backend (``reference``,
+``vectorized``, ``parallel``) with identical sampling parameters, checks
+that every backend is bit-identical to the reference oracle, and measures
+the cold/warm behaviour of the on-disk result cache.
+
+Results are printed as a table and emitted to ``BENCH_engine.json`` at
+the repository root so speedups are tracked across revisions.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine_backends.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.common import get_trace, print_header
+
+from repro.analysis.reporting import format_table
+from repro.engine import SimulationEngine
+
+#: ResNet-scale sampling: large enough that scheduling dominates wall
+#: clock and the batched numpy kernels have a real batch to amortise over.
+MAX_GROUPS = 512
+WORKLOAD = "resnet50"
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+#: The vectorized backend must beat the reference path by at least this
+#: factor (the PR's acceptance criterion); the run fails otherwise so a
+#: performance regression turns CI red instead of hiding in the artifact.
+MIN_VECTORIZED_SPEEDUP = 3.0
+
+
+def _identical(lhs, rhs) -> bool:
+    if [r.layer_name for r in lhs] != [r.layer_name for r in rhs]:
+        return False
+    for a, b in zip(lhs, rhs):
+        if a.operations != b.operations or a.traffic != b.traffic:
+            return False
+    return True
+
+
+def main() -> int:
+    print_header(
+        "Simulation-engine backend comparison",
+        "Engine microbenchmark (no paper figure): reference vs vectorized "
+        "vs parallel, plus result-cache effectiveness",
+    )
+    trace = get_trace(WORKLOAD, epochs=1)
+    layers = trace.final_epoch().layers
+    print(f"Workload: {WORKLOAD}, {len(layers)} traced layers, "
+          f"max_groups={MAX_GROUPS}")
+
+    timings = {}
+    results = {}
+    for backend in ("reference", "vectorized", "parallel"):
+        engine = SimulationEngine(backend=backend, max_groups=MAX_GROUPS)
+        start = time.perf_counter()
+        results[backend] = engine.simulate_layers(layers)
+        timings[backend] = time.perf_counter() - start
+
+    bit_identical = all(
+        _identical(results[backend], results["reference"])
+        for backend in ("vectorized", "parallel")
+    )
+    if not bit_identical:
+        raise AssertionError("a backend diverged from the reference oracle")
+
+    # Cache behaviour: cold run populates, warm run must re-simulate nothing.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold_engine = SimulationEngine(
+            backend="vectorized", cache_dir=cache_dir, max_groups=MAX_GROUPS
+        )
+        start = time.perf_counter()
+        cold_engine.simulate_layers(layers)
+        cold_seconds = time.perf_counter() - start
+
+        warm_engine = SimulationEngine(
+            backend="vectorized", cache_dir=cache_dir, max_groups=MAX_GROUPS
+        )
+        start = time.perf_counter()
+        warm_results = warm_engine.simulate_layers(layers)
+        warm_seconds = time.perf_counter() - start
+        if warm_engine.stats.layers_simulated != 0:
+            raise AssertionError("warm cache run re-simulated layers")
+        if not _identical(warm_results, results["vectorized"]):
+            raise AssertionError("cached results diverged from fresh results")
+
+    reference_seconds = timings["reference"]
+    rows = [
+        [name, seconds, reference_seconds / seconds if seconds else float("inf")]
+        for name, seconds in timings.items()
+    ]
+    rows.append(["vectorized+warm-cache", warm_seconds,
+                 reference_seconds / warm_seconds if warm_seconds else float("inf")])
+    print(format_table(
+        f"{WORKLOAD}: backend wall-clock",
+        ["backend", "seconds", "speedup vs reference"],
+        rows,
+    ))
+
+    payload = {
+        "benchmark": "engine_backends",
+        "workload": WORKLOAD,
+        "traced_layers": len(layers),
+        "max_groups": MAX_GROUPS,
+        "backends": {
+            name: {
+                "seconds": round(seconds, 4),
+                "speedup_vs_reference": round(reference_seconds / seconds, 3)
+                if seconds else None,
+            }
+            for name, seconds in timings.items()
+        },
+        "cache": {
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_cache_hits": warm_engine.stats.cache_hits,
+            "warm_cache_misses": warm_engine.stats.cache_misses,
+            "warm_layers_resimulated": warm_engine.stats.layers_simulated,
+        },
+        "bit_identical": bit_identical,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nWrote {OUTPUT}")
+
+    vectorized_speedup = payload["backends"]["vectorized"]["speedup_vs_reference"]
+    print(f"Vectorized speedup over reference: {vectorized_speedup:.2f}x")
+    if vectorized_speedup < MIN_VECTORIZED_SPEEDUP:
+        raise AssertionError(
+            f"vectorized backend is only {vectorized_speedup:.2f}x the "
+            f"reference path (required: >= {MIN_VECTORIZED_SPEEDUP}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

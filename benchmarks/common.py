@@ -10,10 +10,20 @@ numbers differ from the paper (the workloads are scaled-down stand-ins and
 the substrate is an analytical simulator — see DESIGN.md), but the shape of
 each result (who wins, by roughly what factor, where the trends bend) is
 what the benchmarks reproduce and what EXPERIMENTS.md records.
+
+Simulation runs through the pluggable engine (:mod:`repro.engine`); three
+environment variables steer it without touching any benchmark:
+
+* ``REPRO_BACKEND`` — ``reference`` / ``vectorized`` / ``parallel``
+  (default ``vectorized``; all backends are bit-identical);
+* ``REPRO_JOBS`` — worker count for the parallel backend;
+* ``REPRO_CACHE_DIR`` — enable the on-disk result cache so repeated
+  harness runs skip already-simulated layers.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from typing import Dict, List, Optional
 
@@ -37,6 +47,16 @@ DEFAULT_EPOCHS = 3
 DEFAULT_BATCHES_PER_EPOCH = 2
 DEFAULT_BATCH_SIZE = 8
 DEFAULT_MAX_GROUPS = 48
+
+
+def engine_kwargs() -> Dict[str, object]:
+    """Engine configuration for every harness runner, from the environment."""
+    jobs = os.environ.get("REPRO_JOBS")
+    return {
+        "backend": os.environ.get("REPRO_BACKEND", "vectorized"),
+        "jobs": int(jobs) if jobs else None,
+        "cache_dir": os.environ.get("REPRO_CACHE_DIR") or None,
+    }
 
 #: The models the headline per-model figures sweep (paper order).
 BENCH_MODELS: List[str] = list(PAPER_MODELS)
@@ -71,7 +91,9 @@ def get_result(
 ) -> ModelResult:
     """Simulate a model's final-epoch trace under a named configuration (cached)."""
     trace = get_trace(model_name, epochs=epochs)
-    runner = ExperimentRunner(config_for(config_key), max_groups=max_groups)
+    runner = ExperimentRunner(
+        config_for(config_key), max_groups=max_groups, **engine_kwargs()
+    )
     return runner.run_final_epoch(trace)
 
 
@@ -95,7 +117,7 @@ def config_for(key: str) -> AcceleratorConfig:
 
 def runner_for(key: str = "default", max_groups: int = DEFAULT_MAX_GROUPS) -> ExperimentRunner:
     """An experiment runner bound to a named configuration."""
-    return ExperimentRunner(config_for(key), max_groups=max_groups)
+    return ExperimentRunner(config_for(key), max_groups=max_groups, **engine_kwargs())
 
 
 def geometric_mean(values) -> float:

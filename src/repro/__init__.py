@@ -34,10 +34,16 @@ Sparsity to Accelerate Deep Neural Network Training and Inference"
 ``repro.simulation``
     Mapping of layers to operand streams, the cycle-level simulation driver
     and the experiment runner used by the benchmark harness.
+
+``repro.engine``
+    The pluggable execution layer: bit-identical reference / vectorized /
+    parallel simulation backends, plus the content-addressed on-disk
+    result cache that lets sweeps skip already-simulated layers.
 """
 
 from repro.core.config import AcceleratorConfig, PEConfig, TileConfig
 from repro.core.accelerator import Accelerator
+from repro.engine import SimulationEngine
 from repro.simulation.runner import ExperimentRunner, simulate_model_training
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "PEConfig",
     "TileConfig",
     "Accelerator",
+    "SimulationEngine",
     "ExperimentRunner",
     "simulate_model_training",
 ]

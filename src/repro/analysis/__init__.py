@@ -1,7 +1,12 @@
 """Result aggregation and report formatting for the benchmark harness."""
 
 from repro.analysis.metrics import geometric_mean, arithmetic_mean, summarize_speedups
-from repro.analysis.reporting import format_table, format_series, ReportTable
+from repro.analysis.reporting import (
+    ReportTable,
+    format_engine_stats,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "geometric_mean",
@@ -9,5 +14,6 @@ __all__ = [
     "summarize_speedups",
     "format_table",
     "format_series",
+    "format_engine_stats",
     "ReportTable",
 ]

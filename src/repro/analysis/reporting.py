@@ -59,6 +59,26 @@ def format_table(
     return table.render()
 
 
+def format_engine_stats(stats) -> str:
+    """One-line backend + cache summary for an ``EngineStats`` record.
+
+    Shown after every simulate/sweep run so cache effectiveness (and which
+    execution backend produced the numbers) is visible in the report.
+    """
+    parts = [f"engine: backend={stats.backend}"]
+    if stats.jobs and stats.jobs > 1:
+        parts.append(f"jobs={stats.jobs}")
+    parts.append(f"layers simulated={stats.layers_simulated}")
+    if stats.cache_dir:
+        parts.append(
+            f"cache hits={stats.cache_hits} misses={stats.cache_misses} "
+            f"(hit rate {stats.hit_rate:.1%})"
+        )
+    else:
+        parts.append("cache=disabled")
+    return "  ".join(parts)
+
+
 def format_series(title: str, series: Mapping[str, Mapping[str, float]]) -> str:
     """Format a {row -> {column -> value}} mapping as a table.
 

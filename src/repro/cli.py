@@ -13,22 +13,38 @@ Three subcommands cover the common workflows without writing any Python:
     Re-simulate one traced workload across a configuration sweep
     (tile rows, staging depth or datatype).
 
+Both ``simulate`` and ``sweep`` execute through the pluggable simulation
+engine (:mod:`repro.engine`): ``--backend`` selects the execution strategy
+(``reference`` oracle loop, numpy ``vectorized`` fast path, or a
+``parallel`` multiprocessing pool sized by ``--jobs``), all of which are
+bit-identical; ``--cache-dir`` enables the on-disk result cache so
+repeated runs and sweeps skip already-simulated layers.  Cache entries
+are content-addressed by (accelerator-config hash, layer-trace hash,
+backend name): changing any configuration knob, the traced operands (e.g.
+via ``--seed`` or ``--epochs``) or the backend simply produces new keys,
+so stale results are never returned — old entries are inert files and the
+cache directory can be deleted at any time to reclaim space.
+
 Examples
 --------
 ::
 
     python -m repro list-models
     python -m repro simulate alexnet --epochs 2
-    python -m repro sweep squeezenet --knob rows --values 1,4,16
+    python -m repro simulate vgg16 --backend parallel --jobs 8
+    python -m repro sweep squeezenet --knob rows --values 1,4,16 \\
+        --cache-dir ~/.cache/repro   # second run: zero re-simulations
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from typing import List, Optional
 
-from repro.analysis.reporting import format_table
+from repro.analysis.reporting import format_engine_stats, format_table
 from repro.core.config import AcceleratorConfig
+from repro.engine import available_backends
 from repro.models.registry import (
     MODEL_REGISTRY,
     available_models,
@@ -39,6 +55,31 @@ from repro.models.registry import (
 from repro.nn.optim import MomentumSGD
 from repro.simulation.runner import ExperimentRunner
 from repro.training.trainer import Trainer, TrainingConfig
+
+
+def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
+    """Engine flags shared by ``simulate`` and ``sweep``."""
+    command.add_argument(
+        "--backend", choices=available_backends(), default="vectorized",
+        help="execution strategy: 'reference' is the readable bit-exact "
+             "oracle, 'vectorized' batches all work groups through numpy, "
+             "'parallel' shards traced layers across worker processes; "
+             "all three produce identical results (default: vectorized)")
+    command.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for --backend parallel "
+             "(default: CPU count, capped at 8)")
+    command.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the on-disk result cache; layers already "
+             "simulated under the same (config, trace, backend) key are "
+             "loaded instead of re-simulated.  Keys are content hashes, so "
+             "changing the config, seed/trace or backend invalidates "
+             "entries automatically; delete the directory to reclaim space")
+    command.add_argument(
+        "--seed", type=int, default=0,
+        help="model/dataset seed; fixed by default so repeated runs "
+             "produce identical traces (and therefore cache hits)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-groups", type=int, default=64,
                           help="work groups sampled per layer per operation")
     simulate.add_argument("--datatype", choices=("fp32", "bfloat16"), default="fp32")
+    _add_engine_arguments(simulate)
 
     sweep = subparsers.add_parser(
         "sweep", help="sweep one design knob over a traced workload"
@@ -71,12 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated knob values")
     sweep.add_argument("--epochs", type=int, default=2)
     sweep.add_argument("--max-groups", type=int, default=48)
+    _add_engine_arguments(sweep)
     return parser
 
 
-def _train_and_trace(model_name: str, epochs: int, batch_size: int, batches: int):
-    model = build_model(model_name)
-    dataset = build_dataset(model_name)
+def _train_and_trace(model_name: str, epochs: int, batch_size: int, batches: int,
+                     seed: int = 0):
+    model = build_model(model_name, seed=seed)
+    dataset = build_dataset(model_name, seed=seed)
     optimizer = MomentumSGD(model.parameters(), lr=0.01)
     pruning_hook = build_pruning_hook(model_name, optimizer)
     trainer = Trainer(
@@ -103,8 +147,12 @@ def _command_simulate(args: argparse.Namespace) -> int:
     config = AcceleratorConfig().with_pe(datatype=args.datatype)
     print(f"Accelerator: {config.describe()}")
     print(f"Training {args.model} for {args.epochs} epoch(s)...")
-    trace = _train_and_trace(args.model, args.epochs, args.batch_size, args.batches_per_epoch)
-    runner = ExperimentRunner(config, max_groups=args.max_groups)
+    trace = _train_and_trace(args.model, args.epochs, args.batch_size,
+                             args.batches_per_epoch, seed=args.seed)
+    runner = ExperimentRunner(
+        config, max_groups=args.max_groups,
+        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
+    )
     result = runner.run_final_epoch(trace)
     potentials = ExperimentRunner.potential_speedups_from_trace(trace.final_epoch())
     speedups = result.per_operation_speedups()
@@ -120,6 +168,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
     report = runner.energy_report(result)
     print(f"Core energy efficiency:    {report.core_efficiency:.3f}x")
     print(f"Overall energy efficiency: {report.overall_efficiency:.3f}x")
+    print(format_engine_stats(runner.engine_stats))
     return 0
 
 
@@ -137,20 +186,34 @@ def _config_for_knob(knob: str, value: str) -> AcceleratorConfig:
 def _command_sweep(args: argparse.Namespace) -> int:
     values = [v.strip() for v in args.values.split(",") if v.strip()]
     print(f"Training {args.model} once; sweeping {args.knob} over {values}...")
-    trace = _train_and_trace(args.model, args.epochs, batch_size=8, batches=2)
+    trace = _train_and_trace(args.model, args.epochs, batch_size=8, batches=2,
+                             seed=args.seed)
     rows = []
+    totals = None
     for value in values:
         config = _config_for_knob(args.knob, value)
-        runner = ExperimentRunner(config, max_groups=args.max_groups)
+        runner = ExperimentRunner(
+            config, max_groups=args.max_groups,
+            backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
+        )
         result = runner.run_final_epoch(trace)
         report = runner.energy_report(result)
         rows.append([f"{args.knob}={value}", result.speedup(),
                      report.core_efficiency, report.overall_efficiency])
+        stats = runner.engine_stats
+        if totals is None:
+            totals = dataclasses.replace(stats)
+        else:
+            totals.layers_simulated += stats.layers_simulated
+            totals.cache_hits += stats.cache_hits
+            totals.cache_misses += stats.cache_misses
     print(format_table(
         f"{args.model}: {args.knob} sweep",
         ["configuration", "speedup", "core energy eff.", "overall energy eff."],
         rows,
     ))
+    if totals is not None:
+        print(format_engine_stats(totals))
     return 0
 
 
@@ -158,11 +221,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list-models":
-        return _command_list_models()
-    if args.command == "simulate":
-        return _command_simulate(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
+    try:
+        if args.command == "list-models":
+            return _command_list_models()
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+    except NotADirectoryError as exc:
+        # e.g. --cache-dir pointing at an existing file.
+        parser.error(str(exc))
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -13,6 +13,14 @@ offers a cycle-only path built on the vectorised
 :class:`repro.core.scheduler.BatchScheduler`; its cycle counts are
 identical to the functional model (verified by tests) because the
 scheduler decisions only depend on the operand zero patterns.
+
+Both execution strategies are exposed explicitly —
+:meth:`Accelerator.run_operation_serial` (one group at a time, the path
+the ``reference`` engine backend checks against) and
+:meth:`Accelerator.run_operation_batched` (all groups at once, the
+``vectorized`` backend's kernel) — and :mod:`repro.engine` chooses between
+them; :meth:`Accelerator.run_operation` dispatches on the input shape for
+backwards compatibility.
 """
 
 from __future__ import annotations
@@ -202,27 +210,46 @@ class Accelerator:
             one tile-row-group performs in lockstep; groups are processed
             back to back (or on parallel tiles — the relative speedup is
             unaffected because the baseline is scaled identically).
+
+        A 4D ndarray input takes the batched fast path
+        (:meth:`run_operation_batched`); any other sequence takes the
+        serial path (:meth:`run_operation_serial`).  Both produce
+        bit-identical results.
         """
+        if isinstance(row_groups, np.ndarray) and row_groups.ndim == 4:
+            return self.run_operation_batched(name, row_groups)
+        return self.run_operation_serial(name, row_groups)
+
+    def run_operation_batched(self, name: str, groups: np.ndarray) -> OperationResult:
+        """Batched execution: schedule every group's windows at once.
+
+        This is the kernel behind the engine's ``vectorized`` backend;
+        ``groups`` must be a boolean 4D array of shape ``(num_groups,
+        tile_rows, stream_rows, lanes)``.
+        """
+        groups = np.asarray(groups, dtype=bool)
+        if groups.ndim != 4:
+            raise ValueError(
+                f"groups must be 4D (groups, tile_rows, stream_rows, lanes), got {groups.shape}"
+            )
+        num_groups, tile_rows, stream_rows, _ = groups.shape
+        return OperationResult(
+            name=name,
+            baseline_cycles=num_groups * stream_rows,
+            tensordash_cycles=int(self.tile_cycles_batch(groups).sum()),
+            macs_total=num_groups * tile_rows * stream_rows * self.config.pe.lanes,
+            macs_effectual=int(groups.sum()),
+        )
+
+    def run_operation_serial(
+        self, name: str, row_groups: Sequence[np.ndarray]
+    ) -> OperationResult:
+        """Serial execution: one group at a time through :meth:`tile_cycles`."""
         baseline_cycles = 0
         tensordash_cycles = 0
         macs_total = 0
         macs_effectual = 0
         lanes = self.config.pe.lanes
-
-        if isinstance(row_groups, np.ndarray) and row_groups.ndim == 4:
-            groups = np.asarray(row_groups, dtype=bool)
-            num_groups, tile_rows, stream_rows, _ = groups.shape
-            baseline_cycles = num_groups * stream_rows
-            tensordash_cycles = int(self.tile_cycles_batch(groups).sum())
-            macs_total = num_groups * tile_rows * stream_rows * lanes
-            macs_effectual = int(groups.sum())
-            return OperationResult(
-                name=name,
-                baseline_cycles=baseline_cycles,
-                tensordash_cycles=tensordash_cycles,
-                macs_total=macs_total,
-                macs_effectual=macs_effectual,
-            )
 
         for group in row_groups:
             group = np.asarray(group, dtype=bool)

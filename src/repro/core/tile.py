@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.config import PEConfig, TileConfig
 from repro.core.interconnect import ConnectivityPattern
-from repro.core.scheduler import HardwareScheduler
+from repro.core.scheduler import BatchScheduler, HardwareScheduler
 from repro.core.pe import BaselinePE
 
 
@@ -100,12 +100,14 @@ class TensorDashTile:
             lanes=self.pe_config.lanes, staging_depth=self.pe_config.staging_depth
         )
         self.scheduler = HardwareScheduler(self.pattern)
+        self.batch_scheduler = BatchScheduler(self.pattern)
 
     def process(
         self,
         a_streams: Sequence[np.ndarray],
         b_streams: Sequence[np.ndarray],
         compute_outputs: bool = True,
+        vectorized: Optional[bool] = None,
     ) -> TileResult:
         """Process per-column A streams against per-row B streams.
 
@@ -119,6 +121,14 @@ class TensorDashTile:
         compute_outputs:
             When False, skip the functional accumulation and only count
             cycles (used by the large-scale cycle simulator).
+        vectorized:
+            Route the cycle-only accounting through the
+            :class:`~repro.core.scheduler.BatchScheduler` (all tile rows
+            scheduled in one numpy batch per cycle) instead of the
+            per-row Python loop.  Defaults to automatic: vectorized when
+            ``compute_outputs`` is False.  Both paths are bit-identical
+            (the schedulers are property-tested equivalents); functional
+            output accumulation always uses the per-row loop.
         """
         lanes = self.pe_config.lanes
         depth = self.pe_config.staging_depth
@@ -136,6 +146,12 @@ class TensorDashTile:
 
         pending = b != 0                     # (rows, rows_len, lanes)
         pending = pending.copy()
+        if vectorized is None:
+            vectorized = not compute_outputs
+        if vectorized and not compute_outputs:
+            return self._process_cycles_vectorized(
+                pending, num_columns, rows_len, lanes, outputs
+            )
         position = 0
         cycles = 0
         stall_cycles = 0
@@ -169,6 +185,49 @@ class TensorDashTile:
             position += step_advance
             cycles += 1
 
+        total = rows_len * lanes * num_rows * num_columns
+        return TileResult(
+            cycles=cycles,
+            outputs=outputs,
+            macs_performed=effectual_macs,
+            macs_total=total,
+            stall_cycles=stall_cycles,
+        )
+
+    def _process_cycles_vectorized(
+        self,
+        pending: np.ndarray,
+        num_columns: int,
+        rows_len: int,
+        lanes: int,
+        outputs: np.ndarray,
+    ) -> TileResult:
+        """Cycle-only fast path: all tile rows scheduled as one numpy batch.
+
+        Mirrors the serial loop exactly — same lockstep minimum-advance
+        rule, same stall and effectual-MAC accounting — but performs one
+        :meth:`BatchScheduler.schedule` call per cycle over every row
+        instead of one :meth:`HardwareScheduler.schedule_step` per row.
+        """
+        num_rows = pending.shape[0]
+        depth = self.pe_config.staging_depth
+        padded = np.zeros((num_rows, rows_len + depth, lanes), dtype=bool)
+        padded[:, :rows_len] = pending
+        row_index = np.arange(depth)
+        position = 0
+        cycles = 0
+        stall_cycles = 0
+        effectual_macs = 0
+        while position < rows_len:
+            windows = padded[:, position + row_index, :]
+            claimed, advance, busy = self.batch_scheduler.schedule(windows)
+            padded[:, position + row_index, :] &= ~claimed
+            effectual_macs += int(claimed.sum()) * num_columns
+            advances = np.minimum(advance, rows_len - position)
+            if (busy == 0).any() or np.unique(advances).size > 1:
+                stall_cycles += 1
+            position += int(advances.min())
+            cycles += 1
         total = rows_len * lanes * num_rows * num_columns
         return TileResult(
             cycles=cycles,

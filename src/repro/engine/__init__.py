@@ -1,0 +1,52 @@
+"""Pluggable simulation engine: backends, parallel sharding, result cache.
+
+This package is the execution layer between the accelerator model
+(:mod:`repro.core`) and everything that drives whole-model experiments
+(:mod:`repro.simulation.runner`, the CLI, the benchmark harness).  It
+separates *what* is simulated (the bit-exact hierarchical-scheduler
+semantics) from *how* it is executed:
+
+* :mod:`repro.engine.backend` — the :class:`SimulationBackend` protocol,
+  the ``reference`` oracle and the numpy ``vectorized`` fast path;
+* :mod:`repro.engine.parallel` — the ``parallel`` backend sharding traced
+  layers across a multiprocessing pool;
+* :mod:`repro.engine.cache` — the content-addressed on-disk result cache;
+* :mod:`repro.engine.engine` — :class:`SimulationEngine`, which composes a
+  backend with the cache and tracks :class:`EngineStats`.
+"""
+
+from repro.engine.backend import (
+    ReferenceBackend,
+    SimulationBackend,
+    VectorizedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    config_fingerprint,
+    layer_key,
+    trace_fingerprint,
+)
+from repro.engine.parallel import ParallelBackend, default_jobs
+from repro.engine.engine import EngineStats, SimulationEngine
+
+__all__ = [
+    "SimulationBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "ParallelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "default_jobs",
+    "ResultCache",
+    "CACHE_SCHEMA_VERSION",
+    "config_fingerprint",
+    "trace_fingerprint",
+    "layer_key",
+    "EngineStats",
+    "SimulationEngine",
+]

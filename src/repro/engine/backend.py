@@ -1,0 +1,218 @@
+"""Simulation backends: pluggable execution strategies for the cycle model.
+
+Every backend consumes the same work unit — the boolean operand row groups
+produced by :mod:`repro.simulation.streams` — and returns the same
+:class:`repro.core.accelerator.OperationResult`.  Backends differ only in
+*how* they execute the hierarchical scheduler, never in *what* it decides,
+so all of them are bit-identical by construction (and by test):
+
+``reference``
+    The readable oracle: a straight Python loop that advances one tile-row
+    group at a time, one cycle at a time, driving one
+    :class:`repro.core.scheduler.HardwareScheduler` step per PE row.  This
+    is the per-PE loop the rest of the codebase is validated against.
+
+``vectorized``
+    Routes whole batches of staging windows through the numpy
+    :class:`repro.core.scheduler.BatchScheduler` twin — every work group of
+    an operation is scheduled at once, amortising the Python interpreter
+    over the batch dimension.
+
+``parallel``
+    Shards traced layers across a ``multiprocessing`` pool (each worker
+    runs the vectorized kernel) and merges results deterministically; see
+    :mod:`repro.engine.parallel`.
+
+New execution strategies (distributed, GPU, ...) plug in by subclassing
+:class:`SimulationBackend` and calling :func:`register_backend`; nothing
+above this layer needs to change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.accelerator import Accelerator, OperationResult
+from repro.core.scheduler import HardwareScheduler
+
+
+def traced_layers(traces: Sequence) -> List:
+    """The subset of ``traces`` that carries operand masks to simulate.
+
+    The single definition of the skip rule shared by every backend and by
+    the engine's cache partitioning, so they can never disagree on which
+    layers are simulated.
+    """
+    return [t for t in traces if t.activation_mask is not None]
+
+
+class SimulationBackend:
+    """Strategy interface the simulation stack executes through.
+
+    Subclasses must implement :meth:`run_operation`; layer-level
+    orchestration (:meth:`simulate_layers`) defaults to a serial loop and
+    is overridden by backends that shard whole layers (``parallel``).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def run_operation(
+        self, accelerator: Accelerator, op_name: str, groups: np.ndarray
+    ) -> OperationResult:
+        """Execute one operation's row groups on ``accelerator``.
+
+        ``groups`` is a boolean array of shape ``(num_groups, tile_rows,
+        stream_rows, lanes)`` of effectual positions.
+        """
+        raise NotImplementedError
+
+    def simulate_layers(self, simulator, traces: Sequence) -> List:
+        """Simulate many traced layers; default is an in-process loop.
+
+        ``simulator`` is a :class:`repro.simulation.cycle_sim.LayerSimulator`
+        bound to this backend; layers without operand masks are skipped,
+        mirroring ``LayerSimulator.simulate_layers``.
+        """
+        return [simulator.simulate_layer(trace) for trace in traced_layers(traces)]
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return self.name
+
+
+class ReferenceBackend(SimulationBackend):
+    """Bit-exact oracle: per-PE-row Python loop over the hardware scheduler.
+
+    Deliberately unoptimised — it exists so every faster backend has a
+    readable ground truth to be compared against.
+    """
+
+    name = "reference"
+
+    def run_operation(
+        self, accelerator: Accelerator, op_name: str, groups: np.ndarray
+    ) -> OperationResult:
+        groups = np.asarray(groups, dtype=bool)
+        if groups.ndim != 4:
+            raise ValueError(
+                f"groups must be 4D (groups, tile_rows, stream_rows, lanes), got {groups.shape}"
+            )
+        num_groups, tile_rows, stream_rows, lanes = groups.shape
+        baseline_cycles = num_groups * stream_rows
+        macs_total = num_groups * tile_rows * stream_rows * lanes
+        macs_effectual = int(groups.sum())
+        scheduler = HardwareScheduler(accelerator.pattern)
+        depth = accelerator.config.pe.staging_depth
+        tensordash_cycles = 0
+        for group in groups:
+            tensordash_cycles += self._group_cycles(
+                accelerator, scheduler, group, depth, lanes
+            )
+        return OperationResult(
+            name=op_name,
+            baseline_cycles=baseline_cycles,
+            tensordash_cycles=tensordash_cycles,
+            macs_total=macs_total,
+            macs_effectual=macs_effectual,
+        )
+
+    @staticmethod
+    def _group_cycles(
+        accelerator: Accelerator,
+        scheduler: HardwareScheduler,
+        group: np.ndarray,
+        depth: int,
+        lanes: int,
+    ) -> int:
+        """Cycles for one lockstep tile-row group, one scheduler step per row."""
+        tile_rows, stream_rows, _ = group.shape
+        if accelerator.config.power_gated:
+            return stream_rows
+        if stream_rows == 0:
+            return 0
+        pending = group.copy()
+        position = 0
+        cycles = 0
+        while position < stream_rows:
+            advances = []
+            for row in range(tile_rows):
+                window = np.zeros((depth, lanes), dtype=bool)
+                visible = min(depth, stream_rows - position)
+                window[:visible] = pending[row, position : position + visible]
+                schedule = scheduler.schedule_step(window)
+                for selection in schedule.selections:
+                    if selection is None:
+                        continue
+                    step, lane = selection
+                    pending[row, position + step, lane] = False
+                advances.append(min(schedule.advance, stream_rows - position))
+            position += min(advances)
+            cycles += 1
+        return cycles
+
+
+class VectorizedBackend(SimulationBackend):
+    """Fast path: schedules all of an operation's groups at once via numpy.
+
+    Delegates to :meth:`repro.core.accelerator.Accelerator.run_operation_batched`,
+    which drives the :class:`repro.core.scheduler.BatchScheduler` over the
+    whole ``(groups * tile_rows)`` batch of staging windows per cycle.
+    """
+
+    name = "vectorized"
+
+    def run_operation(
+        self, accelerator: Accelerator, op_name: str, groups: np.ndarray
+    ) -> OperationResult:
+        return accelerator.run_operation_batched(op_name, groups)
+
+
+#: Backend registry; ``parallel`` self-registers on import (see get_backend).
+_BACKENDS: Dict[str, Callable[..., SimulationBackend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    VectorizedBackend.name: VectorizedBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[..., SimulationBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites silently)."""
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Names of every registered backend (the CLI ``--backend`` choices)."""
+    # The parallel backend registers itself on import; make sure it is
+    # visible even if nothing imported repro.engine.parallel yet.
+    import repro.engine.parallel  # noqa: F401
+
+    return sorted(_BACKENDS)
+
+
+def get_backend(
+    backend: Union[str, SimulationBackend, None],
+    jobs: Optional[int] = None,
+) -> SimulationBackend:
+    """Resolve a backend name (or pass through an instance).
+
+    ``jobs`` is forwarded to backends that accept a worker count (the
+    parallel backend); other backends ignore it.
+    """
+    if backend is None:
+        backend = "vectorized"
+    if isinstance(backend, SimulationBackend):
+        return backend
+    if backend == "parallel":
+        # Imported lazily so repro.engine.backend stays dependency-light.
+        import repro.engine.parallel  # noqa: F401
+    factory = _BACKENDS.get(backend)
+    if factory is None:
+        raise KeyError(
+            f"unknown simulation backend {backend!r}; known: {available_backends()}"
+        )
+    try:
+        return factory(jobs=jobs)
+    except TypeError:
+        return factory()

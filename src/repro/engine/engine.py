@@ -1,0 +1,162 @@
+"""The simulation engine: backend dispatch + result caching in one place.
+
+:class:`SimulationEngine` is what the execution stack (experiment runner,
+CLI, benchmark harness) drives instead of a bare
+:class:`~repro.simulation.cycle_sim.LayerSimulator`.  It owns three things:
+
+* a :class:`~repro.engine.backend.SimulationBackend` that decides *how*
+  layers execute (readable reference loop, numpy-vectorized fast path, or
+  a sharded multiprocessing pool);
+* an optional :class:`~repro.engine.cache.ResultCache` that skips layers
+  whose (config, trace, backend) triple has been simulated before;
+* an :class:`EngineStats` record of what happened, which reports surface.
+
+The engine guarantees order preservation: results come back in trace
+order whether they were cache hits, simulated in-process or simulated on
+a worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.config import AcceleratorConfig
+from repro.engine.backend import SimulationBackend, get_backend, traced_layers
+from repro.engine.cache import (
+    ResultCache,
+    config_fingerprint,
+    layer_key,
+    trace_fingerprint,
+)
+from repro.simulation.cycle_sim import LayerResult, LayerSimulator
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine's activity (reset per engine)."""
+
+    backend: str
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    layers_simulated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def layers_total(self) -> int:
+        """Layers served, whether simulated or loaded from cache."""
+        return self.cache_hits + self.layers_simulated
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 with caching disabled)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot for reports and benchmark emitters."""
+        return {
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "layers_simulated": self.layers_simulated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SimulationEngine:
+    """Backend-pluggable, cache-aware driver for layer simulations.
+
+    Parameters
+    ----------
+    config:
+        Accelerator configuration (Table 2 defaults when omitted).
+    backend:
+        Backend name (``"reference"``, ``"vectorized"``, ``"parallel"``)
+        or a :class:`SimulationBackend` instance.
+    jobs:
+        Worker count for backends that shard (the parallel backend).
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+        Entries are keyed by (config hash, trace hash, backend), so any
+        change to the accelerator configuration, the sampling parameters,
+        the traced operands or the backend invalidates them structurally.
+    max_groups / max_batch:
+        Stream-sampling parameters, forwarded to the layer simulator (and
+        folded into the cache key).
+    """
+
+    def __init__(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        backend: Union[str, SimulationBackend, None] = "vectorized",
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        max_groups: Optional[int] = 256,
+        max_batch: Optional[int] = 4,
+    ):
+        self.config = config or AcceleratorConfig()
+        self.backend = get_backend(backend, jobs=jobs)
+        self.simulator = LayerSimulator(
+            self.config, max_groups=max_groups, max_batch=max_batch,
+            backend=self.backend,
+        )
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._config_fp = config_fingerprint(self.config, max_groups, max_batch)
+        self.stats = EngineStats(
+            backend=self.backend.name,
+            jobs=getattr(self.backend, "jobs", 1),
+            cache_dir=str(cache_dir) if cache_dir else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _key_for(self, trace) -> str:
+        return layer_key(self._config_fp, trace_fingerprint(trace), self.backend.name)
+
+    def simulate_layer(self, trace) -> LayerResult:
+        """Simulate (or load) one traced layer."""
+        results = self.simulate_layers([trace])
+        if not results:
+            raise ValueError(
+                f"layer {trace.layer_name!r} has no operand masks to simulate"
+            )
+        return results[0]
+
+    def simulate_layers(self, traces: Sequence) -> List[LayerResult]:
+        """Simulate every traced layer, consulting the cache first.
+
+        Cache hits are loaded; misses are batched into one
+        ``backend.simulate_layers`` call (so the parallel backend shards
+        only the layers that actually need simulating), stored, and merged
+        back in trace order.
+        """
+        work = traced_layers(traces)
+        if self.cache is None:
+            results = self.backend.simulate_layers(self.simulator, work)
+            self.stats.layers_simulated += len(results)
+            return results
+
+        slots: List[Optional[LayerResult]] = [None] * len(work)
+        misses: List[int] = []
+        keys: List[str] = [self._key_for(trace) for trace in work]
+        for index, key in enumerate(keys):
+            cached = self.cache.load(key)
+            if cached is None:
+                misses.append(index)
+            else:
+                slots[index] = cached
+        self.stats.cache_hits += len(work) - len(misses)
+        self.stats.cache_misses += len(misses)
+
+        if misses:
+            fresh = self.backend.simulate_layers(
+                self.simulator, [work[i] for i in misses]
+            )
+            self.stats.layers_simulated += len(fresh)
+            for index, result in zip(misses, fresh):
+                self.cache.store(keys[index], result)
+                slots[index] = result
+        return [result for result in slots if result is not None]

@@ -1,0 +1,99 @@
+"""Sharded parallel execution of layer simulations.
+
+:class:`ParallelBackend` distributes traced layers across a
+``multiprocessing`` pool.  Each worker owns a private
+:class:`~repro.simulation.cycle_sim.LayerSimulator` bound to the vectorized
+backend (built once per process from the pickled accelerator
+configuration), so a layer's simulation inside a worker is exactly the
+vectorized fast path — which is itself bit-identical to the reference
+oracle.  Results come back through ``Pool.map``, which preserves input
+order, so the merge is deterministic regardless of worker scheduling.
+
+Layers are the sharding unit because they are completely independent: the
+accelerator model is stateless across layers and the traced operand masks
+are immutable.  Work is interleaved round-robin-by-chunk to smooth the
+skew between big early conv layers and tiny late FC layers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence
+
+from repro.engine.backend import (
+    SimulationBackend,
+    VectorizedBackend,
+    register_backend,
+    traced_layers,
+)
+
+# Per-worker simulator, built once by _init_worker (fork or spawn safe).
+_WORKER_SIMULATOR = None
+
+
+def _init_worker(config, max_groups, max_batch) -> None:
+    global _WORKER_SIMULATOR
+    from repro.simulation.cycle_sim import LayerSimulator
+
+    _WORKER_SIMULATOR = LayerSimulator(
+        config, max_groups=max_groups, max_batch=max_batch, backend="vectorized"
+    )
+
+
+def _simulate_one(trace):
+    return _WORKER_SIMULATOR.simulate_layer(trace)
+
+
+def default_jobs() -> int:
+    """Default worker count: the machine's CPUs, capped to stay polite."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class ParallelBackend(SimulationBackend):
+    """Shards traced layers across a process pool with deterministic merging.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; ``None`` picks :func:`default_jobs`.
+        With ``jobs=1`` (or a single layer) the backend degrades to the
+        in-process vectorized path, so it is always safe to select.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = jobs if jobs and jobs > 0 else default_jobs()
+        self._vectorized = VectorizedBackend()
+
+    def describe(self) -> str:
+        return f"{self.name}(jobs={self.jobs})"
+
+    # Single operations have no layer-level parallelism to exploit; run
+    # them on the in-process vectorized kernel.
+    def run_operation(self, accelerator, op_name, groups):
+        return self._vectorized.run_operation(accelerator, op_name, groups)
+
+    def simulate_layers(self, simulator, traces: Sequence) -> List:
+        work = traced_layers(traces)
+        if len(work) <= 1 or self.jobs <= 1:
+            return [simulator.simulate_layer(trace) for trace in work]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context("spawn")
+        init_args = (simulator.config, simulator.max_groups, simulator.max_batch)
+        jobs = min(self.jobs, len(work))
+        try:
+            with context.Pool(
+                processes=jobs, initializer=_init_worker, initargs=init_args
+            ) as pool:
+                return pool.map(_simulate_one, work, chunksize=1)
+        except (OSError, PermissionError):
+            # Pool creation can fail in sandboxed environments; fall back
+            # to the in-process path rather than dying.
+            return [simulator.simulate_layer(trace) for trace in work]
+
+
+register_backend(ParallelBackend.name, ParallelBackend)

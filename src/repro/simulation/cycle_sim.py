@@ -4,6 +4,21 @@ The :class:`LayerSimulator` turns a traced layer (operand non-zero masks
 plus convolution hyper-parameters) into operand streams, runs them through
 the accelerator model and returns baseline / TensorDash cycle counts, MAC
 counts and memory traffic for each of the paper's three operations.
+
+Execution is delegated to a pluggable :mod:`repro.engine` backend:
+
+* ``"reference"`` — the readable per-PE-row Python loop (the bit-exact
+  oracle every other backend is property-tested against);
+* ``"vectorized"`` (default) — schedules whole staging-window batches at
+  once through the numpy :class:`~repro.core.scheduler.BatchScheduler`;
+* ``"parallel"`` — shards traced layers across a multiprocessing pool.
+
+All backends produce bit-identical cycle counts, MAC counts and traffic,
+so backend choice is purely a wall-clock decision.  For cross-run reuse,
+wrap the simulator in a :class:`repro.engine.SimulationEngine` with a
+``cache_dir`` — results are then cached on disk keyed by (config hash,
+trace hash, backend) and invalidated structurally whenever any of those
+inputs change.
 """
 
 from __future__ import annotations
@@ -69,9 +84,19 @@ class LayerSimulator:
         config: Optional[AcceleratorConfig] = None,
         max_groups: Optional[int] = 256,
         max_batch: Optional[int] = 4,
+        backend="vectorized",
     ):
         self.config = config or AcceleratorConfig()
         self.accelerator = Accelerator(self.config)
+        self.max_groups = max_groups
+        self.max_batch = max_batch
+        # Resolved lazily so repro.simulation does not import repro.engine
+        # at module load time (the engine orchestrates *over* this module).
+        if isinstance(backend, str) or backend is None:
+            from repro.engine.backend import get_backend
+
+            backend = get_backend(backend)
+        self.backend = backend
         self.extractor = StreamExtractor(
             tile_rows=self.config.tile.rows,
             lanes=self.config.pe.lanes,
@@ -133,7 +158,9 @@ class LayerSimulator:
         result = LayerResult(layer_name=trace.layer_name)
         streams = self._streams_for_trace(trace)
         for operation, operand_streams in streams.items():
-            op_result = self.accelerator.run_operation(operation, operand_streams.groups)
+            op_result = self.backend.run_operation(
+                self.accelerator, operation, operand_streams.groups
+            )
             factor = operand_streams.sampling_factor
             if factor > 1.0:
                 op_result = OperationResult(
@@ -148,10 +175,9 @@ class LayerSimulator:
         return result
 
     def simulate_layers(self, traces: List[LayerTrace]) -> List[LayerResult]:
-        """Simulate every traced layer; layers without masks are skipped."""
-        results = []
-        for trace in traces:
-            if trace.activation_mask is None:
-                continue
-            results.append(self.simulate_layer(trace))
-        return results
+        """Simulate every traced layer; layers without masks are skipped.
+
+        Delegates to the backend so layer-sharding backends (``parallel``)
+        can distribute the work; results always come back in trace order.
+        """
+        return self.backend.simulate_layers(self, traces)

@@ -5,6 +5,16 @@ traces produced by :class:`repro.training.Trainer`, simulates every traced
 layer on the baseline and TensorDash accelerators, and aggregates cycles,
 speedups, memory traffic and energy per model and per operation — the
 quantities Figs. 13-20 and Table 3 report.
+
+Layer execution goes through a :class:`repro.engine.SimulationEngine`, so
+every runner accepts a ``backend`` (``"reference"``, ``"vectorized"``,
+``"parallel"``), a ``jobs`` worker count for the parallel backend, and a
+``cache_dir`` enabling the content-addressed on-disk result cache.  With a
+cache directory set, re-running a sweep re-simulates only layers whose
+(config, trace, backend) key has never been seen; everything else is
+loaded from disk, and ``runner.engine.stats`` records the hit/miss split
+for reports.  Backends are bit-identical, so results never depend on the
+execution strategy chosen.
 """
 
 from __future__ import annotations
@@ -93,17 +103,35 @@ class ExperimentRunner:
         config: Optional[AcceleratorConfig] = None,
         max_groups: Optional[int] = 256,
         max_batch: Optional[int] = 4,
+        backend="vectorized",
+        jobs: Optional[int] = None,
+        cache_dir: Optional[str] = None,
     ):
+        # Imported here so repro.simulation stays importable on its own;
+        # the engine package sits above this module in the layering.
+        from repro.engine.engine import SimulationEngine
+
         self.config = config or AcceleratorConfig()
-        self.simulator = LayerSimulator(
-            self.config, max_groups=max_groups, max_batch=max_batch
+        self.engine = SimulationEngine(
+            self.config,
+            backend=backend,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            max_groups=max_groups,
+            max_batch=max_batch,
         )
+        self.simulator = self.engine.simulator
         self.accountant = EnergyAccountant(self.config)
+
+    @property
+    def engine_stats(self):
+        """Backend / cache counters for this runner (an ``EngineStats``)."""
+        return self.engine.stats
 
     # ------------------------------------------------------------------
     def run_epoch(self, model_name: str, epoch_trace: EpochTrace) -> ModelResult:
         """Simulate one epoch's traced batch for a model."""
-        layer_results = self.simulator.simulate_layers(epoch_trace.layers)
+        layer_results = self.engine.simulate_layers(epoch_trace.layers)
         return ModelResult(
             model_name=model_name,
             epoch=epoch_trace.epoch,
@@ -176,6 +204,9 @@ def simulate_model_training(
     learning_rate: float = 0.01,
     max_groups: Optional[int] = 128,
     pruning_hook=None,
+    backend="vectorized",
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ModelResult:
     """End-to-end convenience: train briefly, trace, and simulate.
 
@@ -198,5 +229,8 @@ def simulate_model_training(
         pruning_hook=pruning_hook,
     )
     trace = trainer.train(dataset, model_name=model_name)
-    runner = ExperimentRunner(config=config, max_groups=max_groups)
+    runner = ExperimentRunner(
+        config=config, max_groups=max_groups,
+        backend=backend, jobs=jobs, cache_dir=cache_dir,
+    )
     return runner.run_final_epoch(trace)
