@@ -30,16 +30,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.config import AcceleratorConfig
-from repro.models.registry import (
-    PAPER_MODELS,
-    build_dataset,
-    build_model,
-    build_pruning_hook,
-)
-from repro.nn.optim import MomentumSGD
+from repro.models.registry import PAPER_MODELS, trace_workload
 from repro.simulation.runner import ExperimentRunner, ModelResult
 from repro.training.tracing import TrainingTrace
-from repro.training.trainer import Trainer, TrainingConfig
 
 #: Benchmark-wide defaults: small enough to keep the full harness in the
 #: minutes range, large enough to exercise every code path end to end.
@@ -65,21 +58,13 @@ BENCH_MODELS: List[str] = list(PAPER_MODELS)
 @lru_cache(maxsize=None)
 def get_trace(model_name: str, epochs: int = DEFAULT_EPOCHS) -> TrainingTrace:
     """Train a workload briefly and return its operand traces (cached)."""
-    model = build_model(model_name, seed=0)
-    dataset = build_dataset(model_name, seed=0)
-    optimizer = MomentumSGD(model.parameters(), lr=0.01)
-    pruning_hook = build_pruning_hook(model_name, optimizer)
-    trainer = Trainer(
-        model,
-        optimizer,
-        config=TrainingConfig(
-            epochs=epochs,
-            batches_per_epoch=DEFAULT_BATCHES_PER_EPOCH,
-            batch_size=DEFAULT_BATCH_SIZE,
-        ),
-        pruning_hook=pruning_hook,
+    return trace_workload(
+        model_name,
+        epochs=epochs,
+        batches_per_epoch=DEFAULT_BATCHES_PER_EPOCH,
+        batch_size=DEFAULT_BATCH_SIZE,
+        seed=0,
     )
-    return trainer.train(dataset, model_name=model_name)
 
 
 @lru_cache(maxsize=None)

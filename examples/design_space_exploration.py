@@ -1,10 +1,16 @@
-"""Design-space exploration: tile geometry, staging depth and datatype.
+"""Design-space exploration: a declarative study over the paper's knobs.
 
 TensorDash's headline configuration (Table 2) is 16 tiles of 4x4 PEs with
-16 MACs each and a 3-deep staging buffer in FP32.  This example sweeps the
-main design knobs on a single traced workload and prints how speedup, area
-overhead and energy efficiency move — the same trade-offs Figs. 17-19 and
-the bfloat16 study examine.
+16 MACs each and a 3-deep staging buffer in FP32.  This example declares
+the same trade-off space Figs. 17-19 and the bfloat16 study examine — tile
+geometry x staging depth x datatype, on one traced workload — as a
+:class:`repro.explore.StudySpec`, runs it through the study machinery the
+``repro explore`` CLI uses, and prints the Pareto frontier over
+(speedup, energy efficiency, area overhead).
+
+Because the example *is* a spec, it can't drift from the subsystem: the
+same dict saved as JSON runs unchanged via
+``python -m repro explore <spec.json>``.
 
 Run with:  python examples/design_space_exploration.py
 """
@@ -14,71 +20,42 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis.reporting import format_table
-from repro.core.config import AcceleratorConfig, PEConfig
-from repro.energy.area_model import AreaModel
-from repro.models import build_dataset, build_model
-from repro.nn.optim import MomentumSGD
-from repro.simulation import ExperimentRunner
-from repro.training import Trainer, TrainingConfig
+from repro.explore import StudySpec, StudyRunner, format_study_report
 
-
-def trace_workload(model_name: str = "squeezenet"):
-    """Train the workload once; every design point reuses the same trace."""
-    model = build_model(model_name)
-    dataset = build_dataset(model_name)
-    trainer = Trainer(
-        model,
-        MomentumSGD(model.parameters(), lr=0.01),
-        config=TrainingConfig(epochs=2, batches_per_epoch=2, batch_size=8),
-    )
-    return trainer.train(dataset, model_name=model_name)
-
-
-def design_points():
-    """The configurations to sweep, with human-readable labels."""
-    base = AcceleratorConfig()
-    return [
-        ("paper default (4 rows, 3-deep, fp32)", base),
-        ("1 row per tile", base.with_tile(rows=1)),
-        ("8 rows per tile", base.with_tile(rows=8)),
-        ("16 rows per tile", base.with_tile(rows=16)),
-        ("2-deep staging buffer", base.with_pe(staging_depth=2)),
-        ("bfloat16 datatype", base.with_pe(datatype="bfloat16")),
-        ("power gated (dense model fallback)", AcceleratorConfig(power_gated=True)),
-    ]
+#: The declarative study: every knob combination is one design point.
+SPEC = {
+    "name": "squeezenet-design-space",
+    "workloads": ["squeezenet"],
+    "knobs": {
+        "rows": [1, 4, 8, 16],
+        "staging": [2, 3],
+        "datatype": ["fp32", "bfloat16"],
+        "power_gating": [False, True],
+    },
+    "objectives": ["speedup", "energy_efficiency", "area_overhead"],
+    "epochs": 2,
+    "batches_per_epoch": 2,
+    "batch_size": 8,
+    "max_groups": 48,
+}
 
 
 def main() -> None:
-    print("Tracing squeezenet once (every design point replays the same trace)...")
-    trace = trace_workload()
+    spec = StudySpec.from_dict(SPEC)
+    print(f"Study '{spec.name}': {spec.space_size} design points "
+          f"(squeezenet is traced once; every point replays the same trace)")
 
-    rows = []
-    for label, config in design_points():
-        runner = ExperimentRunner(config, max_groups=48)
-        result = runner.run_final_epoch(trace)
-        report = runner.energy_report(result, power_gated=config.power_gated)
-        area_overhead = AreaModel(config).compute_overhead()
-        rows.append([
-            label,
-            result.speedup(),
-            report.core_efficiency,
-            report.overall_efficiency,
-            area_overhead,
-        ])
+    runner = StudyRunner(spec)
+    result = runner.run(progress=print)
 
     print()
-    print(format_table(
-        "Design-space exploration on squeezenet",
-        ["configuration", "speedup", "core energy eff.", "overall energy eff.",
-         "compute area overhead"],
-        rows,
-    ))
+    print(format_study_report(result))
     print()
     print("Expected shape (paper Figs. 17-19 and Section 4.4): fewer rows per tile "
           "help speedup, a 2-deep staging buffer trades speedup for cost, bfloat16 "
           "keeps the benefit with a slightly larger relative overhead, and power "
-          "gating makes TensorDash behave exactly like the baseline.")
+          "gating makes TensorDash behave exactly like the baseline — so the "
+          "frontier concentrates on few-row, 3-deep, non-gated points.")
 
 
 if __name__ == "__main__":

@@ -39,6 +39,12 @@ Sparsity to Accelerate Deep Neural Network Training and Inference"
     The pluggable execution layer: bit-identical reference / vectorized /
     parallel simulation backends, plus the content-addressed on-disk
     result cache that lets sweeps skip already-simulated layers.
+
+``repro.explore``
+    Declarative design-space exploration: JSON-loadable study specs over
+    accelerator knobs x workloads x sparsity scenarios, a resumable
+    study runner on top of the engine, and Pareto-frontier reporting
+    (the ``repro explore`` CLI subcommand).
 """
 
 from repro.core.config import AcceleratorConfig, PEConfig, TileConfig

@@ -1,5 +1,11 @@
 """Result aggregation and report formatting for the benchmark harness."""
 
+from repro.analysis.frontier import (
+    Objective,
+    best_per_objective,
+    dominates,
+    pareto_frontier,
+)
 from repro.analysis.metrics import geometric_mean, arithmetic_mean, summarize_speedups
 from repro.analysis.reporting import (
     ReportTable,
@@ -16,4 +22,8 @@ __all__ = [
     "format_series",
     "format_engine_stats",
     "ReportTable",
+    "Objective",
+    "dominates",
+    "pareto_frontier",
+    "best_per_objective",
 ]

@@ -1,0 +1,141 @@
+"""Pareto-dominance analysis for multi-objective design-space results.
+
+The paper's design-space figures (17-19 and the bfloat16 study) trade
+speedup against energy efficiency and area overhead; once a study sweeps
+those knobs jointly the interesting configurations are the ones on the
+Pareto frontier — no other point is at least as good on every objective
+and strictly better on one.  These helpers are deliberately generic: a
+"point" is anything, objective values are pulled out by a ``key``
+function (defaulting to mapping access), and orientation is carried by
+:class:`Objective` so "higher is better" (speedup) and "lower is better"
+(area overhead) mix freely.
+
+Duplicate points (equal on every objective) never dominate each other,
+so all copies of a tied optimum stay on the frontier; with a single
+objective the frontier degenerates to every point achieving the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation axis: a metric name and its orientation."""
+
+    name: str
+    maximize: bool = True
+
+    @classmethod
+    def parse(cls, text: str) -> "Objective":
+        """Parse ``"name"``, ``"name:max"`` or ``"name:min"``."""
+        name, _, direction = text.partition(":")
+        name = name.strip()
+        direction = direction.strip().lower() or "max"
+        if not name:
+            raise ValueError(f"objective {text!r} has no metric name")
+        if direction not in ("max", "min"):
+            raise ValueError(
+                f"objective {text!r}: direction must be 'max' or 'min', "
+                f"got {direction!r}"
+            )
+        return cls(name=name, maximize=direction == "max")
+
+    def oriented(self, value: float) -> float:
+        """The value with orientation folded in (larger is always better)."""
+        return value if self.maximize else -value
+
+    def describe(self) -> str:
+        """Round-trippable ``name:max`` / ``name:min`` form."""
+        return f"{self.name}:{'max' if self.maximize else 'min'}"
+
+
+def _default_key(point: Any, objective: Objective) -> float:
+    return float(point[objective.name])
+
+
+KeyFn = Callable[[Any, Objective], float]
+
+
+def dominates(
+    a: Any,
+    b: Any,
+    objectives: Sequence[Objective],
+    key: Optional[KeyFn] = None,
+) -> bool:
+    """True if ``a`` Pareto-dominates ``b``.
+
+    ``a`` dominates ``b`` when it is at least as good on every objective
+    and strictly better on at least one; equal points therefore never
+    dominate each other.
+    """
+    if not objectives:
+        raise ValueError("dominance needs at least one objective")
+    key = key or _default_key
+    strictly_better = False
+    for objective in objectives:
+        va = objective.oriented(key(a, objective))
+        vb = objective.oriented(key(b, objective))
+        if va < vb:
+            return False
+        if va > vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(
+    points: Sequence[Any],
+    objectives: Sequence[Objective],
+    key: Optional[KeyFn] = None,
+) -> List[Any]:
+    """The non-dominated subset of ``points``, in input order.
+
+    Exact duplicates are all kept (none dominates the others); with one
+    objective this reduces to "every point achieving the best value".
+    """
+    if not objectives:
+        raise ValueError("a Pareto frontier needs at least one objective")
+    key = key or _default_key
+    values = [
+        tuple(objective.oriented(key(point, objective)) for objective in objectives)
+        for point in points
+    ]
+    frontier: List[Any] = []
+    for i, point in enumerate(points):
+        dominated = False
+        for j in range(len(points)):
+            if j == i or values[j] == values[i]:
+                continue
+            if all(vj >= vi for vj, vi in zip(values[j], values[i])):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(point)
+    return frontier
+
+
+def best_per_objective(
+    points: Sequence[Any],
+    objectives: Sequence[Objective],
+    key: Optional[KeyFn] = None,
+) -> Dict[str, Any]:
+    """The single best point for each objective (first wins ties).
+
+    Returns ``{objective name -> point}``; empty when ``points`` is empty.
+    """
+    if not objectives:
+        raise ValueError("best_per_objective needs at least one objective")
+    key = key or _default_key
+    best: Dict[str, Any] = {}
+    for objective in objectives:
+        winner = None
+        winner_value = float("-inf")
+        for point in points:
+            value = objective.oriented(key(point, objective))
+            if value > winner_value:
+                winner, winner_value = point, value
+        if winner is not None:
+            best[objective.name] = winner
+    return best

@@ -1,6 +1,6 @@
 """Command-line interface for the TensorDash reproduction.
 
-Three subcommands cover the common workflows without writing any Python:
+Four subcommands cover the common workflows without writing any Python:
 
 ``list-models``
     Show the registered workloads (the paper's model list).
@@ -10,20 +10,29 @@ Three subcommands cover the common workflows without writing any Python:
     per-operation speedups, potential speedups and energy efficiency.
 
 ``sweep``
-    Re-simulate one traced workload across a configuration sweep
-    (tile rows, staging depth or datatype).
+    Re-simulate one traced workload across a one-knob configuration
+    sweep.  A thin alias over ``explore``: it builds a single-knob
+    :class:`~repro.explore.StudySpec` and runs it through the same
+    study machinery.
 
-Both ``simulate`` and ``sweep`` execute through the pluggable simulation
+``explore``
+    Run a declarative design-space study from a JSON spec: accelerator
+    knobs x workloads x sparsity scenarios, with Pareto-frontier
+    analysis over (speedup, energy efficiency, area overhead) and a
+    resumable on-disk manifest (``--study-dir`` + ``--resume``).
+
+Every simulating subcommand executes through the pluggable simulation
 engine (:mod:`repro.engine`): ``--backend`` selects the execution strategy
 (``reference`` oracle loop, numpy ``vectorized`` fast path, or a
 ``parallel`` multiprocessing pool sized by ``--jobs``), all of which are
 bit-identical; ``--cache-dir`` enables the on-disk result cache so
-repeated runs and sweeps skip already-simulated layers.  Cache entries
-are content-addressed by (accelerator-config hash, layer-trace hash,
-backend name): changing any configuration knob, the traced operands (e.g.
-via ``--seed`` or ``--epochs``) or the backend simply produces new keys,
-so stale results are never returned — old entries are inert files and the
-cache directory can be deleted at any time to reclaim space.
+repeated runs, sweeps and resumed studies skip already-simulated layers.
+Cache entries are content-addressed by (accelerator-config hash,
+layer-trace hash, backend name): changing any configuration knob, the
+traced operands (e.g. via ``--seed`` or ``--epochs``) or the backend
+simply produces new keys, so stale results are never returned — old
+entries are inert files and the cache directory can be deleted at any
+time to reclaim space.
 
 Examples
 --------
@@ -34,31 +43,28 @@ Examples
     python -m repro simulate vgg16 --backend parallel --jobs 8
     python -m repro sweep squeezenet --knob rows --values 1,4,16 \\
         --cache-dir ~/.cache/repro   # second run: zero re-simulations
+    python -m repro explore examples/specs/dse_small.json \\
+        --study-dir /tmp/study       # kill it, then add --resume
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.reporting import format_engine_stats, format_table
 from repro.core.config import AcceleratorConfig
 from repro.engine import available_backends
-from repro.models.registry import (
-    MODEL_REGISTRY,
-    available_models,
-    build_dataset,
-    build_model,
-    build_pruning_hook,
-)
-from repro.nn.optim import MomentumSGD
+from repro.explore.spec import KNOBS
+from repro.models.registry import MODEL_REGISTRY, available_models, trace_workload
 from repro.simulation.runner import ExperimentRunner
-from repro.training.trainer import Trainer, TrainingConfig
 
 
-def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
-    """Engine flags shared by ``simulate`` and ``sweep``."""
+def _add_engine_arguments(
+    command: argparse.ArgumentParser, seed_default: Optional[int] = 0
+) -> None:
+    """Engine flags shared by ``simulate``, ``sweep`` and ``explore``."""
     command.add_argument(
         "--backend", choices=available_backends(), default="vectorized",
         help="execution strategy: 'reference' is the readable bit-exact "
@@ -76,10 +82,13 @@ def _add_engine_arguments(command: argparse.ArgumentParser) -> None:
              "loaded instead of re-simulated.  Keys are content hashes, so "
              "changing the config, seed/trace or backend invalidates "
              "entries automatically; delete the directory to reclaim space")
-    command.add_argument(
-        "--seed", type=int, default=0,
-        help="model/dataset seed; fixed by default so repeated runs "
-             "produce identical traces (and therefore cache hits)")
+    if seed_default is None:
+        seed_help = ("model/dataset seed; overrides the spec's 'seed' field "
+                     "when given (default: use the spec's seed)")
+    else:
+        seed_help = ("model/dataset seed; fixed by default so repeated runs "
+                     "produce identical traces (and therefore cache hits)")
+    command.add_argument("--seed", type=int, default=seed_default, help=seed_help)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,33 +114,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(simulate)
 
     sweep = subparsers.add_parser(
-        "sweep", help="sweep one design knob over a traced workload"
+        "sweep",
+        help="sweep one design knob over a traced workload "
+             "(a one-knob 'explore' study)",
     )
     sweep.add_argument("model", choices=available_models())
-    sweep.add_argument("--knob", choices=("rows", "staging", "datatype"), default="rows")
+    sweep.add_argument("--knob", choices=sorted(KNOBS), default="rows")
     sweep.add_argument("--values", default="1,4,8,16",
                        help="comma-separated knob values")
     sweep.add_argument("--epochs", type=int, default=2)
     sweep.add_argument("--max-groups", type=int, default=48)
     _add_engine_arguments(sweep)
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="run a declarative design-space study from a JSON spec, "
+             "with Pareto-frontier analysis and resumable checkpoints",
+    )
+    explore.add_argument("spec", help="path to a StudySpec JSON file")
+    explore.add_argument(
+        "--study-dir", default=None,
+        help="directory for the study manifest and (by default) the result "
+             "cache; required for --resume")
+    explore.add_argument(
+        "--resume", action="store_true",
+        help="skip points already completed in the --study-dir manifest; "
+             "layers simulated before an interruption return as cache hits")
+    explore.add_argument(
+        "--sample", type=int, default=None,
+        help="randomly sample N points from the space instead of running "
+             "the full cartesian product (seeded by --seed)")
+    explore.add_argument(
+        "--objectives", default=None,
+        help="comma-separated frontier objectives overriding the spec's, "
+             "e.g. 'speedup,area_overhead' or 'speedup:max,area_overhead:min'")
+    explore.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="report format (default: table)")
+    explore.add_argument(
+        "--output", default=None,
+        help="write the report to this file instead of stdout")
+    _add_engine_arguments(explore, seed_default=None)
     return parser
 
 
-def _train_and_trace(model_name: str, epochs: int, batch_size: int, batches: int,
-                     seed: int = 0):
-    model = build_model(model_name, seed=seed)
-    dataset = build_dataset(model_name, seed=seed)
-    optimizer = MomentumSGD(model.parameters(), lr=0.01)
-    pruning_hook = build_pruning_hook(model_name, optimizer)
-    trainer = Trainer(
-        model,
-        optimizer,
-        config=TrainingConfig(
-            epochs=epochs, batches_per_epoch=batches, batch_size=batch_size
-        ),
-        pruning_hook=pruning_hook,
-    )
-    return trainer.train(dataset, model_name=model_name)
+class CliError(Exception):
+    """A user-input problem reported as a usage error (no traceback)."""
 
 
 def _command_list_models() -> int:
@@ -147,8 +175,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
     config = AcceleratorConfig().with_pe(datatype=args.datatype)
     print(f"Accelerator: {config.describe()}")
     print(f"Training {args.model} for {args.epochs} epoch(s)...")
-    trace = _train_and_trace(args.model, args.epochs, args.batch_size,
-                             args.batches_per_epoch, seed=args.seed)
+    trace = trace_workload(args.model, epochs=args.epochs,
+                           batches_per_epoch=args.batches_per_epoch,
+                           batch_size=args.batch_size, seed=args.seed)
     runner = ExperimentRunner(
         config, max_groups=args.max_groups,
         backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
@@ -172,48 +201,119 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _config_for_knob(knob: str, value: str) -> AcceleratorConfig:
-    base = AcceleratorConfig()
-    if knob == "rows":
-        return base.with_tile(rows=int(value))
-    if knob == "staging":
-        return base.with_pe(staging_depth=int(value))
-    if knob == "datatype":
-        return base.with_pe(datatype=value)
-    raise ValueError(f"unknown knob {knob!r}")
+def _coerce_knob_value(value: str):
+    """Parse one ``--values`` item into the type its knob expects."""
+    text = value.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        return text
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    values = [v.strip() for v in args.values.split(",") if v.strip()]
-    print(f"Training {args.model} once; sweeping {args.knob} over {values}...")
-    trace = _train_and_trace(args.model, args.epochs, batch_size=8, batches=2,
-                             seed=args.seed)
-    rows = []
-    totals = None
-    for value in values:
-        config = _config_for_knob(args.knob, value)
-        runner = ExperimentRunner(
-            config, max_groups=args.max_groups,
-            backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
+    """One-knob alias over the explore machinery (no duplicated expansion)."""
+    from repro.explore.report import format_points_table
+    from repro.explore.runner import StudyRunner
+    from repro.explore.spec import StudySpec
+
+    values = [_coerce_knob_value(v) for v in args.values.split(",") if v.strip()]
+    if not values:
+        raise CliError(f"--values {args.values!r} contains no knob values")
+    try:
+        spec = StudySpec(
+            name=f"{args.model}-{args.knob}-sweep",
+            workloads=[args.model],
+            knobs={args.knob: values},
+            epochs=args.epochs,
+            max_groups=args.max_groups,
+            seed=args.seed,
+            objectives=["speedup", "core_energy_efficiency", "energy_efficiency"],
         )
-        result = runner.run_final_epoch(trace)
-        report = runner.energy_report(result)
-        rows.append([f"{args.knob}={value}", result.speedup(),
-                     report.core_efficiency, report.overall_efficiency])
-        stats = runner.engine_stats
-        if totals is None:
-            totals = dataclasses.replace(stats)
-        else:
-            totals.layers_simulated += stats.layers_simulated
-            totals.cache_hits += stats.cache_hits
-            totals.cache_misses += stats.cache_misses
-    print(format_table(
-        f"{args.model}: {args.knob} sweep",
-        ["configuration", "speedup", "core energy eff.", "overall energy eff."],
-        rows,
-    ))
-    if totals is not None:
-        print(format_engine_stats(totals))
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    print(f"Training {args.model} once; sweeping {args.knob} over {values}...")
+    runner = StudyRunner(
+        spec, backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+    result = runner.run()
+    print(format_points_table(result, title=f"{args.model}: {args.knob} sweep"))
+    print(format_engine_stats(result.stats))
+    return 0
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    from repro.explore.report import (
+        format_study_report,
+        study_to_csv,
+        study_to_json,
+    )
+    from repro.explore.runner import StudyResumeError, StudyRunner
+    from repro.explore.spec import StudySpec, parse_objectives
+
+    if args.resume and not args.study_dir:
+        raise CliError("--resume requires --study-dir (that is where the "
+                       "study manifest lives)")
+    if args.output and not Path(args.output).parent.is_dir():
+        # Checked before the study runs, not after hours of simulation.
+        raise CliError(
+            f"--output directory {Path(args.output).parent} does not exist"
+        )
+    # Spec problems (including a missing spec file) are usage errors;
+    # anything raised later (training, simulation) is a real fault and
+    # keeps its traceback.
+    try:
+        spec = StudySpec.from_json(args.spec)
+        if args.sample is not None:
+            spec.mode = "random"
+            spec.sample = args.sample
+        if args.seed is not None:
+            spec.seed = args.seed
+        spec.validate()
+        objectives = None
+        if args.objectives:
+            objectives = [name.strip() for name in args.objectives.split(",")
+                          if name.strip()]
+            parse_objectives(objectives)   # fail before any training starts
+    except (ValueError, OSError) as exc:
+        # OSError covers a missing spec file, a directory passed as the
+        # spec path, permission problems, etc.
+        raise CliError(str(exc)) from exc
+
+    # Progress lines would corrupt machine-readable stdout output.
+    quiet = args.format in ("json", "csv") and not args.output
+    if not quiet:
+        count = spec.space_size
+        if spec.mode == "random":
+            count = min(spec.sample, count)
+        print(f"Study '{spec.name}': {count} of {spec.space_size} "
+              f"points ({spec.mode}), objectives "
+              f"{', '.join(objectives or spec.objectives)}")
+    runner = StudyRunner(
+        spec,
+        study_dir=args.study_dir,
+        backend=args.backend,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    try:
+        result = runner.run(resume=args.resume, progress=None if quiet else print)
+    except StudyResumeError as exc:
+        raise CliError(str(exc)) from exc
+
+    if args.format == "json":
+        text = study_to_json(result, objectives)
+    elif args.format == "csv":
+        text = study_to_csv(result, objectives)
+    else:
+        text = format_study_report(result, objectives)
+    if args.output:
+        Path(args.output).write_text(text if text.endswith("\n") else text + "\n")
+        print(f"Wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -228,8 +328,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_simulate(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "explore":
+            return _command_explore(args)
     except NotADirectoryError as exc:
         # e.g. --cache-dir pointing at an existing file.
+        parser.error(str(exc))
+    except CliError as exc:
+        # invalid spec, knob value, objective or stale study manifest;
+        # internal errors keep their traceback instead of landing here.
         parser.error(str(exc))
     parser.error(f"unknown command {args.command!r}")
     return 2

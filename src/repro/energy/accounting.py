@@ -41,6 +41,15 @@ class EnergyBreakdown:
             dram_pj=self.dram_pj + other.dram_pj,
         )
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly component energies (plus the total)."""
+        return {
+            "core_pj": self.core_pj,
+            "sram_pj": self.sram_pj,
+            "dram_pj": self.dram_pj,
+            "total_pj": self.total_pj,
+        }
+
 
 @dataclass
 class EfficiencyReport:
@@ -50,6 +59,15 @@ class EfficiencyReport:
     overall_efficiency: float
     baseline: EnergyBreakdown
     tensordash: EnergyBreakdown
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (used by study records and benchmarks)."""
+        return {
+            "core_efficiency": self.core_efficiency,
+            "overall_efficiency": self.overall_efficiency,
+            "baseline": self.baseline.as_dict(),
+            "tensordash": self.tensordash.as_dict(),
+        }
 
 
 class EnergyAccountant:

@@ -1,0 +1,150 @@
+"""Study reporting: frontier tables, JSON and CSV exports.
+
+One study, three renderings.  :func:`format_study_report` is the
+human-readable view the CLI prints (all points with the frontier marked,
+the frontier on its own, the per-objective winners, and the engine's
+cache/backend counters).  :func:`study_to_json` is the machine-readable
+document benchmarks and downstream tooling consume, and
+:func:`study_to_csv` is the spreadsheet-friendly flat table.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_engine_stats, format_table
+from repro.explore.runner import StudyResult
+
+
+def _metric_columns(result: StudyResult, names: Optional[Sequence[str]]) -> List[str]:
+    return [objective.name for objective in result.objectives(names)]
+
+
+def format_points_table(
+    result: StudyResult,
+    names: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """All study points as a table, Pareto-optimal ones marked with ``*``."""
+    columns = _metric_columns(result, names)
+    frontier_ids = {point.point_id for point in result.frontier(names)}
+    rows = []
+    for point in result.points:
+        rows.append(
+            [point.workload, point.scenario, point.config_label]
+            + [point.metrics[name] for name in columns]
+            + ["*" if point.point_id in frontier_ids else ""]
+        )
+    return format_table(
+        title or f"Study '{result.spec.name}': {len(result.points)} design points",
+        ["workload", "scenario", "configuration"] + columns + ["pareto"],
+        rows,
+    )
+
+
+def format_frontier_table(
+    result: StudyResult, names: Optional[Sequence[str]] = None
+) -> str:
+    """Just the Pareto frontier, one row per non-dominated point."""
+    columns = _metric_columns(result, names)
+    frontier = result.frontier(names)
+    rows = [
+        [point.workload, point.scenario, point.config_label]
+        + [point.metrics[name] for name in columns]
+        for point in frontier
+    ]
+    return format_table(
+        f"Pareto frontier ({len(frontier)} of {len(result.points)} points)",
+        ["workload", "scenario", "configuration"] + columns,
+        rows,
+    )
+
+
+def format_study_report(
+    result: StudyResult, names: Optional[Sequence[str]] = None
+) -> str:
+    """The full plain-text report the ``repro explore`` CLI prints."""
+    objectives = result.objectives(names)
+    lines = [
+        format_points_table(result, names),
+        "",
+        format_frontier_table(result, names),
+        "",
+        "Best per objective:",
+    ]
+    best = result.best_per_objective(names)
+    for objective in objectives:
+        point = best.get(objective.name)
+        if point is None:
+            continue
+        direction = "max" if objective.maximize else "min"
+        lines.append(
+            f"  {objective.name} ({direction}): {point.label} "
+            f"-> {point.metrics[objective.name]:.3f}"
+        )
+    if result.resumed_points:
+        lines.append(
+            f"Resumed: {result.resumed_points} point(s) restored from the manifest."
+        )
+    lines.append(format_engine_stats(result.stats))
+    return "\n".join(lines)
+
+
+def study_to_dict(
+    result: StudyResult, names: Optional[Sequence[str]] = None
+) -> Dict:
+    """JSON-ready document with spec, points, frontier and engine stats."""
+    objectives = result.objectives(names)
+    return {
+        "spec": result.spec.to_dict(),
+        "objectives": [objective.describe() for objective in objectives],
+        "points": [point.to_dict() for point in result.points],
+        "frontier": [point.point_id for point in result.frontier(names)],
+        "best_per_objective": {
+            name: point.point_id
+            for name, point in result.best_per_objective(names).items()
+        },
+        "resumed_points": result.resumed_points,
+        "engine": result.stats.as_dict(),
+    }
+
+
+def study_to_json(
+    result: StudyResult, names: Optional[Sequence[str]] = None, indent: int = 2
+) -> str:
+    """The :func:`study_to_dict` document as a JSON string."""
+    return json.dumps(study_to_dict(result, names), indent=indent) + "\n"
+
+
+def study_to_csv(result: StudyResult, names: Optional[Sequence[str]] = None) -> str:
+    """Flat CSV: one row per point, one column per recorded metric.
+
+    The ``pareto`` column marks the frontier under ``names`` (the spec's
+    objectives when omitted), matching the table and JSON renderings.
+    """
+    metric_names: List[str] = []
+    for point in result.points:
+        for name in point.metrics:
+            if name not in metric_names:
+                metric_names.append(name)
+    frontier_ids = {point.point_id for point in result.frontier(names)}
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["point_id", "workload", "scenario", "configuration", "pareto"] + metric_names
+    )
+    for point in result.points:
+        writer.writerow(
+            [
+                point.point_id,
+                point.workload,
+                point.scenario,
+                point.config_label,
+                int(point.point_id in frontier_ids),
+            ]
+            + [point.metrics.get(name, "") for name in metric_names]
+        )
+    return buffer.getvalue()

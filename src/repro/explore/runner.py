@@ -1,0 +1,374 @@
+"""Study execution: expand a spec, simulate every point, checkpoint, resume.
+
+:class:`StudyRunner` is the engine-room of the exploration subsystem.  It
+trains/traces each workload once, imposes the spec's sparsity scenarios,
+and dispatches every design point through the same
+:class:`~repro.engine.SimulationEngine` substrate the rest of the repo
+uses — including the content-addressed result cache, so warm points cost
+zero re-simulation.  Points sharing an accelerator configuration are
+batched into one engine pass (:meth:`ExperimentRunner.run_batch`), which
+lets the parallel backend shard across workloads.
+
+Studies are resumable: with a ``study_dir`` the runner checkpoints a
+manifest after every completed point (spec fingerprint + per-point
+metrics) and defaults the engine cache into the same directory.  A
+killed study restarted with ``resume=True`` skips every finished point
+via the manifest, and layers simulated before the kill come back as
+cache hits — nothing is ever simulated twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.frontier import Objective, best_per_objective, pareto_frontier
+from repro.energy.area_model import AreaModel
+from repro.engine.engine import EngineStats
+from repro.explore.scenarios import apply_scenario
+from repro.explore.spec import DesignPoint, StudySpec, parse_objectives
+from repro.simulation.runner import ExperimentRunner
+from repro.training.tracing import EpochTrace
+
+#: Manifest format version; bump to orphan old manifests.
+MANIFEST_VERSION = 1
+
+
+class StudyResumeError(ValueError):
+    """Raised when a manifest cannot be resumed (e.g. the spec changed)."""
+
+
+@dataclass
+class PointResult:
+    """Recorded outcome of one design point."""
+
+    point_id: str
+    workload: str
+    scenario: str
+    knobs: List[List]
+    label: str
+    config_label: str
+    metrics: Dict[str, float]
+
+    def to_dict(self) -> Dict:
+        return {
+            "point_id": self.point_id,
+            "workload": self.workload,
+            "scenario": self.scenario,
+            "knobs": [list(pair) for pair in self.knobs],
+            "label": self.label,
+            "config_label": self.config_label,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PointResult":
+        return cls(
+            point_id=payload["point_id"],
+            workload=payload["workload"],
+            scenario=payload["scenario"],
+            knobs=[list(pair) for pair in payload["knobs"]],
+            label=payload["label"],
+            config_label=payload["config_label"],
+            metrics={k: float(v) for k, v in payload["metrics"].items()},
+        )
+
+
+def _metric_key(point: PointResult, objective: Objective) -> float:
+    try:
+        return point.metrics[objective.name]
+    except KeyError:
+        raise ValueError(
+            f"objective {objective.name!r} is not a recorded metric; "
+            f"this study records: {sorted(point.metrics)}"
+        ) from None
+
+
+@dataclass
+class StudyResult:
+    """A completed (or resumed-to-completion) study."""
+
+    spec: StudySpec
+    points: List[PointResult]
+    stats: EngineStats
+    #: Points restored from the manifest instead of being simulated.
+    resumed_points: int = 0
+
+    def objectives(self, names: Optional[Sequence[str]] = None) -> List[Objective]:
+        """Oriented objectives — the spec's, unless ``names`` overrides."""
+        return parse_objectives(list(names) if names else self.spec.objectives)
+
+    def frontier(self, names: Optional[Sequence[str]] = None) -> List[PointResult]:
+        """The Pareto-optimal points under the chosen objectives."""
+        return pareto_frontier(self.points, self.objectives(names), key=_metric_key)
+
+    def best_per_objective(
+        self, names: Optional[Sequence[str]] = None
+    ) -> Dict[str, PointResult]:
+        """The single best point for each objective."""
+        return best_per_objective(self.points, self.objectives(names), key=_metric_key)
+
+
+class StudyRunner:
+    """Expands and executes a :class:`StudySpec`, checkpointing as it goes.
+
+    Parameters
+    ----------
+    spec:
+        The validated study specification.
+    study_dir:
+        Directory for the study manifest and (by default) the engine's
+        result cache.  ``None`` runs fully in memory with no
+        checkpointing — fine for small sweeps, required for ``resume``.
+    backend / jobs / cache_dir:
+        Engine flags, identical to every other entry point.  With a
+        ``study_dir`` and no explicit ``cache_dir`` the cache lands in
+        ``<study_dir>/cache`` so resumed studies get layer-level hits.
+    """
+
+    def __init__(
+        self,
+        spec: StudySpec,
+        study_dir: Optional[Union[str, Path]] = None,
+        backend: str = "vectorized",
+        jobs: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.spec = spec
+        self.study_dir = Path(study_dir) if study_dir else None
+        self.backend = backend
+        self.jobs = jobs
+        if self.study_dir is not None:
+            try:
+                self.study_dir.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as exc:
+                raise NotADirectoryError(
+                    f"study directory {self.study_dir} exists but is not a directory"
+                ) from exc
+            if cache_dir is None:
+                cache_dir = self.study_dir / "cache"
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self._traces: Dict[str, object] = {}
+        self._scenario_traces: Dict[tuple, EpochTrace] = {}
+        self._runners: "OrderedDict[str, ExperimentRunner]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Optional[Path]:
+        """Where the resumable manifest lives (``None`` without a study dir)."""
+        if self.study_dir is None:
+            return None
+        return self.study_dir / "manifest.json"
+
+    def _load_manifest(self) -> Dict[str, PointResult]:
+        path = self.manifest_path
+        if path is None or not path.exists():
+            return {}
+        payload = json.loads(path.read_text())
+        if payload.get("version") != MANIFEST_VERSION:
+            return {}
+        if payload.get("spec_fingerprint") != self.spec.fingerprint():
+            raise StudyResumeError(
+                f"study manifest {path} was written for a different spec "
+                f"(fingerprint {payload.get('spec_fingerprint')!r} != "
+                f"{self.spec.fingerprint()!r}); use a fresh --study-dir or "
+                f"rerun without --resume"
+            )
+        return {
+            point_id: PointResult.from_dict(record)
+            for point_id, record in payload.get("completed", {}).items()
+        }
+
+    def _checkpoint(self, completed: Dict[str, PointResult]) -> None:
+        path = self.manifest_path
+        if path is None:
+            return
+        payload = json.dumps(
+            {
+                "version": MANIFEST_VERSION,
+                "spec": self.spec.to_dict(),
+                "spec_fingerprint": self.spec.fingerprint(),
+                "completed": {
+                    point_id: record.to_dict()
+                    for point_id, record in completed.items()
+                },
+            },
+            indent=2,
+        )
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def _trace(self, workload: str):
+        """Train and trace one workload (once per study)."""
+        if workload not in self._traces:
+            from repro.models.registry import trace_workload
+
+            spec = self.spec
+            self._traces[workload] = trace_workload(
+                workload,
+                epochs=spec.epochs,
+                batches_per_epoch=spec.batches_per_epoch,
+                batch_size=spec.batch_size,
+                seed=spec.seed,
+            )
+        return self._traces[workload]
+
+    def _scenario_trace(self, workload: str, scenario: str) -> EpochTrace:
+        key = (workload, scenario)
+        if key not in self._scenario_traces:
+            trace = self._trace(workload)
+            self._scenario_traces[key] = apply_scenario(
+                trace.final_epoch(), scenario, seed=self.spec.seed
+            )
+        return self._scenario_traces[key]
+
+    def _runner_for(self, point: DesignPoint) -> ExperimentRunner:
+        config = point.config()
+        key = repr(config)
+        if key not in self._runners:
+            self._runners[key] = ExperimentRunner(
+                config,
+                max_groups=self.spec.max_groups,
+                backend=self.backend,
+                jobs=self.jobs,
+                cache_dir=self.cache_dir,
+            )
+        return self._runners[key]
+
+    def _measure(self, point: DesignPoint, runner: ExperimentRunner, model_result) -> PointResult:
+        config = point.config()
+        report = runner.energy_report(model_result, power_gated=config.power_gated)
+        area = AreaModel(config)
+        metrics = {
+            "speedup": model_result.speedup(),
+            "energy_efficiency": report.overall_efficiency,
+            "core_energy_efficiency": report.core_efficiency,
+            "area_overhead": area.compute_overhead(),
+            "chip_area_overhead": area.chip_overhead(),
+            "baseline_energy_pj": report.baseline.total_pj,
+            "tensordash_energy_pj": report.tensordash.total_pj,
+        }
+        return PointResult(
+            point_id=point.point_id,
+            workload=point.workload,
+            scenario=point.scenario,
+            knobs=[list(pair) for pair in point.knobs],
+            label=point.label,
+            config_label=point.config_label,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        resume: bool = False,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> StudyResult:
+        """Execute the study and return every point's recorded metrics.
+
+        With ``resume=True`` previously completed points are restored
+        from the manifest without re-simulation (a ``study_dir`` is
+        required — there is nowhere to read a manifest from otherwise,
+        and :class:`StudyResumeError` is raised); the engine cache
+        additionally serves any layer simulated before an interruption
+        mid-point.
+        """
+        emit = progress or (lambda message: None)
+        points = self.spec.expand()
+        completed: Dict[str, PointResult] = {}
+        # Every record the manifest will hold — a superset of `completed`
+        # when resuming a sampled subset, so records for points outside
+        # the current expansion are preserved, not discarded.
+        stored: Dict[str, PointResult] = {}
+        if resume and self.manifest_path is None:
+            raise StudyResumeError(
+                "resume requested but this runner has no study_dir "
+                "(nowhere to read a manifest from)"
+            )
+        if resume:
+            stored = self._load_manifest()
+            valid_ids = {point.point_id for point in points}
+            completed = {
+                point_id: record
+                for point_id, record in stored.items()
+                if point_id in valid_ids
+            }
+        resumed = len(completed)
+        if resumed:
+            emit(f"resuming: {resumed}/{len(points)} points already complete")
+
+        # Group the remaining points by accelerator configuration so each
+        # group becomes one batched engine pass over its pre-traced
+        # workloads (one shared runner, one cache namespace per config).
+        groups: "OrderedDict[str, List[DesignPoint]]" = OrderedDict()
+        for point in points:
+            if point.point_id in completed:
+                continue
+            groups.setdefault(repr(point.config()), []).append(point)
+
+        done = resumed
+        for group in groups.values():
+            runner = self._runner_for(group[0])
+            traced = [
+                (point.workload, self._scenario_trace(point.workload, point.scenario))
+                for point in group
+            ]
+            for point, model_result in zip(group, runner.run_batch(traced)):
+                record = self._measure(point, runner, model_result)
+                completed[point.point_id] = record
+                stored[point.point_id] = record
+                done += 1
+                emit(f"[{done}/{len(points)}] {record.label}: "
+                     f"speedup {record.metrics['speedup']:.3f}x")
+                self._checkpoint(stored)
+
+        results = [completed[point.point_id] for point in points]
+        return StudyResult(
+            spec=self.spec,
+            points=results,
+            stats=self._aggregate_stats(),
+            resumed_points=resumed,
+        )
+
+    def _aggregate_stats(self) -> EngineStats:
+        """Engine counters summed across every per-config runner."""
+        totals = EngineStats(
+            backend=self.backend, jobs=self.jobs or 1, cache_dir=self.cache_dir
+        )
+        for runner in self._runners.values():
+            stats = runner.engine_stats
+            totals.layers_simulated += stats.layers_simulated
+            totals.cache_hits += stats.cache_hits
+            totals.cache_misses += stats.cache_misses
+        return totals
+
+
+def run_study(
+    spec: StudySpec,
+    study_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    backend: str = "vectorized",
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> StudyResult:
+    """One-call convenience wrapping :class:`StudyRunner`."""
+    runner = StudyRunner(
+        spec, study_dir=study_dir, backend=backend, jobs=jobs, cache_dir=cache_dir
+    )
+    return runner.run(resume=resume, progress=progress)

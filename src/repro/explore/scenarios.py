@@ -1,0 +1,121 @@
+"""Sparsity scenarios: what operand sparsity a design point is evaluated on.
+
+A study axis the accelerator knobs cannot express is *how sparse the
+operands are*.  Two scenario families cover the paper's methodology:
+
+``"traced"``
+    The operand masks exactly as the training run produced them — the
+    Figs. 13-19 setting.
+
+``"random:<level>"``
+    The traced activation and output-gradient masks are replaced by
+    i.i.d. Bernoulli masks at the given sparsity level (``random:0.7`` is
+    70% zeros), keeping every shape, the weight masks and the MAC counts —
+    the synthetic-sparsity setting of Fig. 20, applied to a whole model.
+    Masks are derived deterministically from (seed, scenario, layer name),
+    so re-running a study reproduces the same masks and the engine's
+    result cache keeps hitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.training.tracing import EpochTrace
+
+#: The scenario every spec gets when none is listed.
+TRACED = "traced"
+
+_RANDOM_PREFIX = "random:"
+
+
+def parse_scenario(scenario: str) -> str:
+    """Validate a scenario string and return its canonical form.
+
+    Raises ``ValueError`` with the supported grammar on anything else.
+    """
+    if not isinstance(scenario, str):
+        raise ValueError(f"scenario must be a string, got {scenario!r}")
+    text = scenario.strip().lower()
+    if text == TRACED:
+        return TRACED
+    if text.startswith(_RANDOM_PREFIX):
+        level_text = text[len(_RANDOM_PREFIX):]
+        try:
+            level = float(level_text)
+        except ValueError:
+            raise ValueError(
+                f"scenario {scenario!r}: sparsity level {level_text!r} is not a number"
+            ) from None
+        if not 0.0 <= level < 1.0:
+            raise ValueError(
+                f"scenario {scenario!r}: sparsity level must be in [0, 1), got {level}"
+            )
+        return f"{_RANDOM_PREFIX}{level:g}"
+    raise ValueError(
+        f"unknown sparsity scenario {scenario!r}; expected 'traced' or "
+        f"'random:<level>' (e.g. 'random:0.7')"
+    )
+
+
+def scenario_sparsity(scenario: str) -> Optional[float]:
+    """The synthetic sparsity level of a scenario, or ``None`` for traced."""
+    canonical = parse_scenario(scenario)
+    if canonical == TRACED:
+        return None
+    return float(canonical[len(_RANDOM_PREFIX):])
+
+
+def _random_mask(rng: np.random.Generator, shape, sparsity: float) -> np.ndarray:
+    return rng.random(shape) >= sparsity
+
+
+def _layer_rng(seed: int, scenario: str, layer_name: str) -> np.random.Generator:
+    # Per-layer streams keyed by content, so mask generation is independent
+    # of layer order and stable across partial re-runs.
+    return np.random.default_rng(
+        np.frombuffer(
+            f"{seed}|{scenario}|{layer_name}".encode(), dtype=np.uint8
+        ).tolist()
+    )
+
+
+def apply_scenario(epoch_trace: EpochTrace, scenario: str, seed: int = 0) -> EpochTrace:
+    """An epoch trace with the scenario's operand sparsity imposed.
+
+    ``"traced"`` returns the input unchanged (same object — callers must
+    not mutate traces).  ``"random:<level>"`` rebuilds every traced
+    layer's activation and gradient masks as i.i.d. Bernoulli samples at
+    the level, recomputing the summary sparsities from the actual masks.
+    """
+    canonical = parse_scenario(scenario)
+    level = scenario_sparsity(canonical)
+    if level is None:
+        return epoch_trace
+
+    layers = []
+    for layer in epoch_trace.layers:
+        rng = _layer_rng(seed, canonical, layer.layer_name)
+        activation_mask = layer.activation_mask
+        gradient_mask = layer.output_gradient_mask
+        if activation_mask is not None:
+            activation_mask = _random_mask(rng, activation_mask.shape, level)
+        if gradient_mask is not None:
+            gradient_mask = _random_mask(rng, gradient_mask.shape, level)
+        layers.append(replace(
+            layer,
+            activation_mask=activation_mask,
+            output_gradient_mask=gradient_mask,
+            activation_sparsity=_mask_sparsity(activation_mask, layer.activation_sparsity),
+            gradient_sparsity=_mask_sparsity(gradient_mask, layer.gradient_sparsity),
+        ))
+    return EpochTrace(epoch=epoch_trace.epoch, layers=layers)
+
+
+def _mask_sparsity(mask: Optional[np.ndarray], fallback: float) -> float:
+    if mask is None or mask.size == 0:
+        return fallback
+    return 1.0 - float(np.count_nonzero(mask)) / mask.size

@@ -152,6 +152,45 @@ def build_dataset(name: str, seed: int = 0):
     return spec.dataset(num_classes=spec.num_classes, seed=seed)
 
 
+def trace_workload(
+    name: str,
+    epochs: int = 2,
+    batches_per_epoch: int = 2,
+    batch_size: int = 8,
+    seed: int = 0,
+    learning_rate: float = 0.01,
+):
+    """Train a registered workload briefly and return its operand traces.
+
+    The one shared train-and-trace path: builds the model, its synthetic
+    dataset and any pruning hook the workload requires, runs the short
+    training loop, and returns the resulting
+    :class:`~repro.training.tracing.TrainingTrace`.  The CLI, the
+    benchmark harness and the design-space study runner all call this, so
+    tracing defaults cannot drift between entry points.
+    """
+    # Imported lazily: repro.training imports this module's datasets, so a
+    # top-level import would be circular.
+    from repro.nn.optim import MomentumSGD
+    from repro.training.trainer import Trainer, TrainingConfig
+
+    model = build_model(name, seed=seed)
+    dataset = build_dataset(name, seed=seed)
+    optimizer = MomentumSGD(model.parameters(), lr=learning_rate)
+    trainer = Trainer(
+        model,
+        optimizer,
+        config=TrainingConfig(
+            epochs=epochs,
+            batches_per_epoch=batches_per_epoch,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+        ),
+        pruning_hook=build_pruning_hook(name, optimizer),
+    )
+    return trainer.train(dataset, model_name=name)
+
+
 def build_pruning_hook(name: str, optimizer=None):
     """Instantiate the pruning method a registered workload requires, if any."""
     spec = MODEL_REGISTRY.get(name)

@@ -142,6 +142,36 @@ class ExperimentRunner:
         """Simulate the final epoch of a training trace."""
         return self.run_epoch(trace.model_name, trace.final_epoch())
 
+    def run_batch(self, traced) -> List[ModelResult]:
+        """Simulate several pre-traced workloads in one engine pass.
+
+        ``traced`` is a sequence of ``(model_name, EpochTrace)`` pairs.
+        Every epoch's traced layers are flattened into a single
+        ``engine.simulate_layers`` call — so the parallel backend shards
+        across workloads and the result cache is consulted exactly once
+        per layer — and the results are split back per workload in input
+        order.  This is the batch entry point the design-space
+        :class:`repro.explore.StudyRunner` drives for points that share
+        an accelerator configuration.
+        """
+        from repro.engine.backend import traced_layers
+
+        flat = []
+        spans = []
+        for model_name, epoch_trace in traced:
+            work = traced_layers(epoch_trace.layers)
+            spans.append(
+                (model_name, epoch_trace.epoch, len(flat), len(flat) + len(work))
+            )
+            flat.extend(work)
+        results = self.engine.simulate_layers(flat)
+        return [
+            ModelResult(
+                model_name=name, epoch=epoch, layer_results=results[start:stop]
+            )
+            for name, epoch, start, stop in spans
+        ]
+
     def run_over_training(
         self, trace: TrainingTrace, num_points: Optional[int] = None
     ) -> List[ModelResult]:

@@ -1,0 +1,129 @@
+"""Tests for Pareto-dominance filtering and frontier helpers."""
+
+import pytest
+
+from repro.analysis import Objective, best_per_objective, dominates, pareto_frontier
+
+SPEEDUP = Objective("speedup", maximize=True)
+AREA = Objective("area", maximize=False)
+BOTH = [SPEEDUP, AREA]
+
+
+class TestObjective:
+    def test_parse_bare_name_defaults_to_max(self):
+        objective = Objective.parse("speedup")
+        assert objective.name == "speedup"
+        assert objective.maximize
+
+    def test_parse_directions(self):
+        assert not Objective.parse("area:min").maximize
+        assert Objective.parse("speedup:max").maximize
+
+    def test_parse_rejects_bad_direction_and_empty_name(self):
+        with pytest.raises(ValueError):
+            Objective.parse("speedup:upwards")
+        with pytest.raises(ValueError):
+            Objective.parse(":min")
+
+    def test_describe_round_trips(self):
+        for text in ("speedup:max", "area:min"):
+            assert Objective.parse(text).describe() == text
+
+
+class TestDominates:
+    def test_strictly_better_on_all(self):
+        assert dominates({"speedup": 2.0, "area": 1.0},
+                         {"speedup": 1.5, "area": 1.2}, BOTH)
+
+    def test_minimize_orientation(self):
+        # Lower area is better: equal speedup, smaller area dominates.
+        assert dominates({"speedup": 2.0, "area": 1.0},
+                         {"speedup": 2.0, "area": 1.2}, BOTH)
+        assert not dominates({"speedup": 2.0, "area": 1.2},
+                             {"speedup": 2.0, "area": 1.0}, BOTH)
+
+    def test_equal_points_do_not_dominate(self):
+        point = {"speedup": 2.0, "area": 1.0}
+        assert not dominates(point, dict(point), BOTH)
+
+    def test_trade_off_neither_dominates(self):
+        a = {"speedup": 2.0, "area": 1.2}
+        b = {"speedup": 1.5, "area": 1.0}
+        assert not dominates(a, b, BOTH)
+        assert not dominates(b, a, BOTH)
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            dominates({"speedup": 1.0}, {"speedup": 2.0}, [])
+
+
+class TestParetoFrontier:
+    def test_basic_frontier(self):
+        points = [
+            {"speedup": 2.0, "area": 1.2},   # frontier (fastest)
+            {"speedup": 1.5, "area": 1.0},   # frontier (cheapest)
+            {"speedup": 1.4, "area": 1.1},   # dominated by the second
+        ]
+        frontier = pareto_frontier(points, BOTH)
+        assert frontier == points[:2]
+
+    def test_preserves_input_order(self):
+        points = [
+            {"speedup": 1.5, "area": 1.0},
+            {"speedup": 2.0, "area": 1.2},
+        ]
+        assert pareto_frontier(points, BOTH) == points
+
+    def test_duplicate_optima_all_kept(self):
+        best = {"speedup": 2.0, "area": 1.0}
+        points = [dict(best), {"speedup": 1.0, "area": 1.5}, dict(best)]
+        frontier = pareto_frontier(points, BOTH)
+        assert frontier == [best, best]
+
+    def test_tie_on_one_objective(self):
+        points = [
+            {"speedup": 2.0, "area": 1.0},
+            {"speedup": 2.0, "area": 1.2},   # same speedup, worse area
+        ]
+        assert pareto_frontier(points, BOTH) == [points[0]]
+
+    def test_single_objective_degenerates_to_argmax(self):
+        points = [{"speedup": 1.0}, {"speedup": 3.0}, {"speedup": 2.0}, {"speedup": 3.0}]
+        frontier = pareto_frontier(points, [SPEEDUP])
+        assert frontier == [{"speedup": 3.0}, {"speedup": 3.0}]
+
+    def test_single_objective_minimize(self):
+        points = [{"area": 1.2}, {"area": 1.0}, {"area": 1.1}]
+        assert pareto_frontier(points, [AREA]) == [{"area": 1.0}]
+
+    def test_empty_input(self):
+        assert pareto_frontier([], BOTH) == []
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            pareto_frontier([{"speedup": 1.0}], [])
+
+    def test_custom_key(self):
+        points = [("a", 2.0), ("b", 3.0)]
+        frontier = pareto_frontier(
+            points, [SPEEDUP], key=lambda point, objective: point[1]
+        )
+        assert frontier == [("b", 3.0)]
+
+
+class TestBestPerObjective:
+    def test_picks_winner_per_objective(self):
+        fast = {"speedup": 2.0, "area": 1.2}
+        small = {"speedup": 1.5, "area": 1.0}
+        best = best_per_objective([fast, small], BOTH)
+        assert best == {"speedup": fast, "area": small}
+
+    def test_first_wins_ties(self):
+        a = {"speedup": 2.0, "area": 1.0}
+        b = {"speedup": 2.0, "area": 1.0}
+        best = best_per_objective([a, b], BOTH)
+        assert best["speedup"] is a
+        assert best["area"] is a
+
+    def test_empty_points(self):
+        assert best_per_objective([], BOTH) == {}

@@ -87,6 +87,35 @@ class TestExperimentRunner:
         assert gated.tensordash.core_pj <= ungated.tensordash.core_pj
 
 
+class TestRunBatch:
+    def test_batch_matches_per_epoch_runs(self, alexnet_trace):
+        runner = ExperimentRunner(max_groups=16)
+        epoch = alexnet_trace.final_epoch()
+        earlier = alexnet_trace.epochs[0]
+        batched = runner.run_batch([("alexnet", epoch), ("alexnet-e0", earlier)])
+        assert [r.model_name for r in batched] == ["alexnet", "alexnet-e0"]
+
+        solo = ExperimentRunner(max_groups=16)
+        expected = [solo.run_epoch("alexnet", epoch), solo.run_epoch("alexnet-e0", earlier)]
+        for got, want in zip(batched, expected):
+            assert got.epoch == want.epoch
+            assert len(got.layer_results) == len(want.layer_results)
+            assert got.cycles() == want.cycles()
+            assert got.speedup() == pytest.approx(want.speedup())
+
+    def test_batch_is_one_engine_pass(self, alexnet_trace):
+        runner = ExperimentRunner(max_groups=8)
+        epoch = alexnet_trace.final_epoch()
+        runner.run_batch([("a", epoch), ("b", epoch)])
+        total_layers = sum(
+            1 for layer in epoch.layers if layer.activation_mask is not None
+        )
+        assert runner.engine_stats.layers_simulated == 2 * total_layers
+
+    def test_empty_batch(self):
+        assert ExperimentRunner(max_groups=8).run_batch([]) == []
+
+
 class TestSimulateModelTraining:
     def test_end_to_end_convenience(self):
         model = build_alexnet(width_multiplier=0.5)
