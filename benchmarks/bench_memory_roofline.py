@@ -1,0 +1,173 @@
+"""Microbenchmark: overhead and behaviour of the memory-aware cycle model.
+
+Two guarantees are enforced, matching the memory-model PR's acceptance
+criteria:
+
+* **Overhead** — simulating under a bandwidth-constrained hierarchy must
+  cost less than ``MAX_OVERHEAD`` extra wall-clock versus the unbounded
+  hierarchy (the constraint is per-operation arithmetic, not a new
+  simulation loop), so memory awareness is effectively free.
+* **Behaviour** — under the Table 2 bandwidth and under a starved edge
+  hierarchy, memory-bound operations must appear, their stalls must lower
+  the reported speedup versus the unbounded run, and the unbounded run's
+  cycle counts must equal the legacy compute-only numbers (zero stalls).
+
+Results are printed as a table and emitted to ``BENCH_memory.json`` at the
+repository root (uploaded as a CI artifact alongside the other BENCH
+files).
+
+Run directly::
+
+    PYTHONPATH=src:. python benchmarks/bench_memory_roofline.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from benchmarks.common import engine_kwargs, get_trace, print_header
+
+from repro.analysis.reporting import format_table
+from repro.analysis.roofline import roofline_report
+from repro.core.config import AcceleratorConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.simulation.runner import ExperimentRunner
+
+WORKLOAD = "resnet50"
+MAX_GROUPS = 256
+#: Bandwidth-constrained simulation may cost at most 10% extra wall-clock.
+MAX_OVERHEAD = 0.10
+#: Timing rounds; configs are interleaved within each round and the best
+#: time per config is kept, so a burst of CPU contention hits every
+#: hierarchy equally instead of skewing whichever one it landed on.
+REPEATS = 3
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_memory.json"
+
+
+def hierarchies():
+    """The three machines the benchmark compares."""
+    base = AcceleratorConfig()
+    edge = MemoryHierarchy.edge()
+    return {
+        "unbounded": base,
+        # The full Table 2 machine: DRAM bandwidth, SRAM bandwidth and
+        # on-chip capacity — exactly what MemoryHierarchy.table2() derives.
+        "table2": replace(base, hierarchy=MemoryHierarchy.table2(base)),
+        "edge": base.with_hierarchy(
+            dram_bandwidth_gbps=edge.dram_bandwidth_gbps, sram_kb=edge.sram_kb
+        ),
+    }
+
+
+def one_run(config, epoch):
+    """One timed simulation pass under ``config``."""
+    runner = ExperimentRunner(config, max_groups=MAX_GROUPS, **engine_kwargs())
+    start = time.perf_counter()
+    result = runner.run_epoch(WORKLOAD, epoch)
+    return time.perf_counter() - start, result
+
+
+def timed_runs(configs, epoch):
+    """Best-per-config wall clock over interleaved rounds.
+
+    An untimed warmup pass absorbs allocator/page-cache effects, then
+    every round times each hierarchy back to back; transient machine
+    noise therefore lands on all configs, not on one.
+    """
+    results = {}
+    for name, config in configs.items():
+        _, results[name] = one_run(config, epoch)   # warmup, untimed
+    timings = {name: float("inf") for name in configs}
+    for _ in range(REPEATS):
+        for name, config in configs.items():
+            seconds, _ = one_run(config, epoch)
+            timings[name] = min(timings[name], seconds)
+    return timings, results
+
+
+def main() -> int:
+    print_header(
+        "Memory-aware cycle model: overhead and roofline behaviour",
+        "Memory-model microbenchmark (no paper figure): unbounded vs "
+        "Table 2 vs bandwidth-starved edge hierarchy",
+    )
+    trace = get_trace(WORKLOAD, epochs=1)
+    epoch = trace.final_epoch()
+    print(f"Workload: {WORKLOAD}, {len(epoch.layers)} traced layers, "
+          f"max_groups={MAX_GROUPS}, best of {REPEATS} interleaved rounds")
+
+    timings, results = timed_runs(hierarchies(), epoch)
+
+    unbounded = results["unbounded"]
+    if unbounded.stall_cycles()["tensordash"] != 0:
+        raise AssertionError("unbounded hierarchy must record zero stalls")
+
+    rows = []
+    summaries = {}
+    for name, config in hierarchies().items():
+        result = results[name]
+        report = roofline_report(result, config)
+        ridge = report.ridge_point
+        summaries[name] = {
+            "seconds": round(timings[name], 4),
+            "speedup": round(result.speedup(), 4),
+            "stall_fraction": round(result.stall_fraction(), 4),
+            "memory_bound_operations": len(report.memory_bound_points()),
+            "operations": len(report.points),
+            "ridge_point_macs_per_byte": round(ridge, 4) if ridge else None,
+            "effective_dram_bytes": result.effective_dram_bytes(),
+        }
+        rows.append([
+            name, timings[name], result.speedup(), result.stall_fraction(),
+            f"{len(report.memory_bound_points())}/{len(report.points)}",
+        ])
+    print(format_table(
+        f"{WORKLOAD}: hierarchy comparison",
+        ["hierarchy", "seconds", "speedup", "stall fraction", "memory-bound ops"],
+        rows,
+    ))
+
+    # Behaviour checks: the starved machines must stall and lose speedup.
+    for constrained in ("table2", "edge"):
+        summary = summaries[constrained]
+        if summary["memory_bound_operations"] == 0:
+            raise AssertionError(f"{constrained}: no memory-bound operations")
+        if not summary["speedup"] <= summaries["unbounded"]["speedup"]:
+            raise AssertionError(
+                f"{constrained}: stalls failed to lower the reported speedup"
+            )
+    if summaries["edge"]["stall_fraction"] < summaries["table2"]["stall_fraction"]:
+        raise AssertionError("edge hierarchy stalls less than Table 2")
+
+    # Overhead check: the constraint is arithmetic on top of the same
+    # scheduling work, so the slowest constrained run must stay within
+    # MAX_OVERHEAD of the unbounded wall-clock.
+    overhead = max(timings["table2"], timings["edge"]) / timings["unbounded"] - 1.0
+    print(f"\nBandwidth-constrained overhead: {overhead:+.1%} "
+          f"(limit: +{MAX_OVERHEAD:.0%})")
+    if overhead > MAX_OVERHEAD:
+        raise AssertionError(
+            f"memory-aware simulation costs {overhead:+.1%} wall-clock "
+            f"(allowed: +{MAX_OVERHEAD:.0%})"
+        )
+
+    payload = {
+        "benchmark": "memory_roofline",
+        "workload": WORKLOAD,
+        "traced_layers": len(epoch.layers),
+        "max_groups": MAX_GROUPS,
+        "repeats": REPEATS,
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_fraction": MAX_OVERHEAD,
+        "hierarchies": summaries,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"Wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,9 @@ Sparsity to Accelerate Deep Neural Network Training and Inference"
 
 ``repro.memory``
     Tensor layout, transposers, on-chip SRAM, off-chip DRAM and zero
-    compression models.
+    compression models, plus the :class:`~repro.memory.hierarchy.MemoryHierarchy`
+    bandwidth/capacity model the cycle simulator enforces (unbounded by
+    default; finite hierarchies add stall cycles and memory-bound verdicts).
 
 ``repro.energy``
     Area, power and energy accounting for FP32 and bfloat16 configurations.
@@ -50,6 +52,7 @@ Sparsity to Accelerate Deep Neural Network Training and Inference"
 from repro.core.config import AcceleratorConfig, PEConfig, TileConfig
 from repro.core.accelerator import Accelerator
 from repro.engine import SimulationEngine
+from repro.memory.hierarchy import MemoryHierarchy
 from repro.simulation.runner import ExperimentRunner, simulate_model_training
 
 __all__ = [
@@ -58,6 +61,7 @@ __all__ = [
     "TileConfig",
     "Accelerator",
     "SimulationEngine",
+    "MemoryHierarchy",
     "ExperimentRunner",
     "simulate_model_training",
 ]

@@ -7,6 +7,13 @@ from repro.analysis.frontier import (
     pareto_frontier,
 )
 from repro.analysis.metrics import geometric_mean, arithmetic_mean, summarize_speedups
+from repro.analysis.roofline import (
+    RooflinePoint,
+    RooflineReport,
+    format_roofline_report,
+    operational_intensity,
+    roofline_report,
+)
 from repro.analysis.reporting import (
     ReportTable,
     format_engine_stats,
@@ -26,4 +33,9 @@ __all__ = [
     "dominates",
     "pareto_frontier",
     "best_per_objective",
+    "RooflinePoint",
+    "RooflineReport",
+    "roofline_report",
+    "format_roofline_report",
+    "operational_intensity",
 ]

@@ -1,0 +1,219 @@
+"""Roofline analysis: operational intensity, ridge point, bound verdicts.
+
+The roofline model places every simulated operation on two axes:
+*operational intensity* (MACs per DRAM byte moved) and *throughput*
+(MACs per cycle).  The machine caps throughput at
+
+``attainable = min(peak_macs_per_cycle, intensity * dram_bytes_per_cycle)``
+
+so operations left of the *ridge point* (``peak / bandwidth``) are
+memory-bound — no amount of zero-skipping can speed them up — while
+operations right of it are compute-bound and benefit fully from
+TensorDash's scheduler.  This module builds that picture from a
+:class:`~repro.simulation.runner.ModelResult` produced under any
+:class:`~repro.memory.hierarchy.MemoryHierarchy`:
+
+* per (layer, operation) :class:`RooflinePoint` with intensity, achieved
+  throughput and the simulator's recorded bound verdict;
+* per-layer bound classification (:meth:`RooflineReport.layer_bounds`);
+* the machine's ridge point and peak lines for plotting or tabulation.
+
+With an unbounded hierarchy the ridge point is undefined (infinite
+bandwidth) and every point is compute-bound; the report still carries the
+intensities, which are a property of the workload alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.memory.hierarchy import bytes_per_cycle
+
+
+def operational_intensity(macs: int, dram_bytes: int) -> float:
+    """MACs performed per DRAM byte moved (``inf`` when nothing moves)."""
+    if macs < 0 or dram_bytes < 0:
+        raise ValueError("macs and dram_bytes must be non-negative")
+    if dram_bytes == 0:
+        return float("inf") if macs else 0.0
+    return macs / dram_bytes
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One operation of one layer placed on the roofline."""
+
+    layer: str
+    operation: str
+    macs: int
+    dram_bytes: int
+    compute_cycles: int
+    total_cycles: int
+    stall_cycles: int
+    bound: str
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity in MACs per DRAM byte."""
+        return operational_intensity(self.macs, self.dram_bytes)
+
+    @property
+    def achieved_macs_per_cycle(self) -> float:
+        """Throughput the simulation achieved (stalls included)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.macs / self.total_cycles
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.bound != "compute"
+
+    @property
+    def stall_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.stall_cycles / self.total_cycles
+
+
+@dataclass
+class RooflineReport:
+    """The roofline of one model under one machine configuration."""
+
+    model_name: str
+    peak_macs_per_cycle: float
+    #: Sustainable DRAM bytes per cycle; ``None`` for an unbounded hierarchy.
+    dram_bytes_per_cycle: Optional[float]
+    points: List[RooflinePoint] = field(default_factory=list)
+
+    @property
+    def ridge_point(self) -> Optional[float]:
+        """Intensity (MACs/byte) where the memory and compute roofs meet."""
+        if not self.dram_bytes_per_cycle:
+            return None
+        return self.peak_macs_per_cycle / self.dram_bytes_per_cycle
+
+    def attainable_macs_per_cycle(self, intensity: float) -> float:
+        """The roofline itself: the throughput cap at a given intensity."""
+        if self.dram_bytes_per_cycle is None:
+            return self.peak_macs_per_cycle
+        return min(self.peak_macs_per_cycle, intensity * self.dram_bytes_per_cycle)
+
+    def classify(self, intensity: float) -> str:
+        """Static verdict from intensity alone: left or right of the ridge."""
+        ridge = self.ridge_point
+        if ridge is not None and intensity < ridge:
+            return "memory"
+        return "compute"
+
+    def memory_bound_points(self) -> List[RooflinePoint]:
+        """Points whose pace the simulator saw memory set."""
+        return [point for point in self.points if point.memory_bound]
+
+    def layer_bounds(self) -> Dict[str, str]:
+        """Per-layer verdict: ``"memory"`` when any operation stalled.
+
+        Layer order follows the first appearance in :attr:`points`
+        (i.e. trace order).
+        """
+        bounds: Dict[str, str] = {}
+        for point in self.points:
+            current = bounds.get(point.layer, "compute")
+            if current == "compute" and point.memory_bound:
+                bounds[point.layer] = point.bound
+            else:
+                bounds.setdefault(point.layer, current)
+        return bounds
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly document (used by the benchmark emitter)."""
+        return {
+            "model": self.model_name,
+            "peak_macs_per_cycle": self.peak_macs_per_cycle,
+            "dram_bytes_per_cycle": self.dram_bytes_per_cycle,
+            "ridge_point": self.ridge_point,
+            "memory_bound_points": len(self.memory_bound_points()),
+            "layer_bounds": self.layer_bounds(),
+            "points": [
+                {
+                    "layer": point.layer,
+                    "operation": point.operation,
+                    "macs": point.macs,
+                    "dram_bytes": point.dram_bytes,
+                    "intensity": point.intensity,
+                    "achieved_macs_per_cycle": point.achieved_macs_per_cycle,
+                    "stall_fraction": point.stall_fraction,
+                    "bound": point.bound,
+                }
+                for point in self.points
+            ],
+        }
+
+
+def roofline_report(result, config) -> RooflineReport:
+    """Build the roofline of one :class:`ModelResult` under ``config``.
+
+    ``result`` is a :class:`repro.simulation.runner.ModelResult` (or any
+    object with ``layer_results``); ``config`` the
+    :class:`~repro.core.config.AcceleratorConfig` it was simulated with —
+    the hierarchy's DRAM bandwidth defines the memory roof, the MAC
+    geometry the compute roof.  The per-point bound verdicts are the ones
+    the cycle simulator recorded, so the report never re-derives what the
+    simulation already decided.
+    """
+    hierarchy = config.hierarchy
+    dram_bpc = None
+    if hierarchy.dram_bandwidth_gbps is not None:
+        dram_bpc = bytes_per_cycle(
+            hierarchy.dram_bandwidth_gbps, config.frequency_mhz
+        )
+    points: List[RooflinePoint] = []
+    for layer in result.layer_results:
+        for op_name, op in sorted(layer.operations.items()):
+            points.append(
+                RooflinePoint(
+                    layer=layer.layer_name,
+                    operation=op_name,
+                    macs=op.macs_total,
+                    dram_bytes=op.dram_bytes,
+                    compute_cycles=op.tensordash_compute_cycles,
+                    total_cycles=op.tensordash_cycles,
+                    stall_cycles=op.tensordash_stall_cycles,
+                    bound=op.bound,
+                )
+            )
+    return RooflineReport(
+        model_name=getattr(result, "model_name", "model"),
+        peak_macs_per_cycle=float(config.macs_per_cycle),
+        dram_bytes_per_cycle=dram_bpc,
+        points=points,
+    )
+
+
+def format_roofline_report(report: RooflineReport) -> str:
+    """Plain-text roofline table (one row per layer and operation)."""
+    rows = []
+    for point in report.points:
+        rows.append(
+            [
+                point.layer,
+                point.operation,
+                point.intensity,
+                report.attainable_macs_per_cycle(point.intensity),
+                point.achieved_macs_per_cycle,
+                point.stall_fraction,
+                point.bound,
+            ]
+        )
+    ridge = report.ridge_point
+    ridge_text = f"{ridge:.3f} MACs/byte" if ridge is not None else "none (unbounded)"
+    title = (
+        f"Roofline: {report.model_name} — peak {report.peak_macs_per_cycle:.0f} "
+        f"MACs/cycle, ridge point {ridge_text}"
+    )
+    return format_table(
+        title,
+        ["layer", "op", "intensity", "attainable", "achieved", "stall", "bound"],
+        rows,
+    )

@@ -1,6 +1,6 @@
 """Command-line interface for the TensorDash reproduction.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 ``list-models``
     Show the registered workloads (the paper's model list).
@@ -8,6 +8,14 @@ Four subcommands cover the common workflows without writing any Python:
 ``simulate``
     Train one workload briefly, trace it and report TensorDash's
     per-operation speedups, potential speedups and energy efficiency.
+
+``roofline``
+    Simulate one workload under a *finite* memory hierarchy (Table 2's
+    4-channel LPDDR4-3200 by default, or ``--dram-bandwidth-gbps`` /
+    ``--sram-kb`` overrides) and print the roofline: per-layer
+    operational intensity, attainable vs achieved throughput, stall
+    fractions and compute/memory-bound verdicts, plus the speedup with
+    and without memory stalls.
 
 ``sweep``
     Re-simulate one traced workload across a one-knob configuration
@@ -41,6 +49,8 @@ Examples
     python -m repro list-models
     python -m repro simulate alexnet --epochs 2
     python -m repro simulate vgg16 --backend parallel --jobs 8
+    python -m repro roofline snli --dram-bandwidth-gbps 4
+    python -m repro sweep snli --knob dram_bandwidth_gbps --values 4,12.8,51.2
     python -m repro sweep squeezenet --knob rows --values 1,4,16 \\
         --cache-dir ~/.cache/repro   # second run: zero re-simulations
     python -m repro explore examples/specs/dse_small.json \\
@@ -112,6 +122,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="work groups sampled per layer per operation")
     simulate.add_argument("--datatype", choices=("fp32", "bfloat16"), default="fp32")
     _add_engine_arguments(simulate)
+
+    roofline = subparsers.add_parser(
+        "roofline",
+        help="simulate one workload under a bandwidth-constrained memory "
+             "hierarchy and print its roofline (intensity, ridge point, "
+             "stalls, compute/memory-bound verdicts)",
+    )
+    roofline.add_argument("model", choices=available_models())
+    roofline.add_argument("--epochs", type=int, default=2)
+    roofline.add_argument("--batch-size", type=int, default=8)
+    roofline.add_argument("--batches-per-epoch", type=int, default=2)
+    roofline.add_argument("--max-groups", type=int, default=64,
+                          help="work groups sampled per layer per operation")
+    roofline.add_argument("--datatype", choices=("fp32", "bfloat16"), default="fp32")
+    roofline.add_argument(
+        "--dram-bandwidth-gbps", type=float, default=None,
+        help="sustainable off-chip bandwidth in GB/s (default: the Table 2 "
+             "machine's peak, 4-channel LPDDR4-3200 = 51.2 GB/s)")
+    roofline.add_argument(
+        "--sram-bandwidth-gbps", type=float, default=None,
+        help="aggregate on-chip AM/BM/CM bandwidth in GB/s "
+             "(default: unlimited)")
+    roofline.add_argument(
+        "--sram-kb", type=int, default=None,
+        help="total on-chip capacity in KB; working sets that overflow it "
+             "are re-fetched from DRAM (default: unlimited)")
+    _add_engine_arguments(roofline)
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -201,14 +238,67 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_roofline(args: argparse.Namespace) -> int:
+    from repro.analysis.roofline import format_roofline_report, roofline_report
+
+    config = AcceleratorConfig().with_pe(datatype=args.datatype)
+    dram_bandwidth = args.dram_bandwidth_gbps
+    if dram_bandwidth is None:
+        dram_bandwidth = config.memory.peak_dram_bandwidth_gbps
+    try:
+        config = config.with_hierarchy(
+            dram_bandwidth_gbps=dram_bandwidth,
+            sram_bandwidth_gbps=args.sram_bandwidth_gbps,
+            sram_kb=args.sram_kb,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    print(f"Accelerator: {config.describe()}")
+    print(f"Training {args.model} for {args.epochs} epoch(s)...")
+    trace = trace_workload(args.model, epochs=args.epochs,
+                           batches_per_epoch=args.batches_per_epoch,
+                           batch_size=args.batch_size, seed=args.seed)
+    runner = ExperimentRunner(
+        config, max_groups=args.max_groups,
+        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
+    )
+    result = runner.run_final_epoch(trace)
+    report = roofline_report(result, config)
+    print(format_roofline_report(report))
+    bound_counts = result.bound_counts()
+    memory_bound = sum(n for bound, n in bound_counts.items() if bound != "compute")
+    total_ops = sum(bound_counts.values())
+    stalls = result.stall_cycles()
+    cycles = result.cycles()
+    compute_speedup = 1.0
+    compute_tensordash = cycles["tensordash"] - stalls["tensordash"]
+    if compute_tensordash:
+        compute_speedup = (cycles["baseline"] - stalls["baseline"]) / compute_tensordash
+    print(f"Memory-bound operations:   {memory_bound} of {total_ops}")
+    print(f"Stall fraction:            {result.stall_fraction():.1%}")
+    print(f"Speedup (with stalls):     {result.speedup():.3f}x")
+    print(f"Speedup (compute only):    {compute_speedup:.3f}x")
+    print(format_engine_stats(runner.engine_stats))
+    return 0
+
+
 def _coerce_knob_value(value: str):
-    """Parse one ``--values`` item into the type its knob expects."""
+    """Parse one ``--values`` item into the type its knob expects.
+
+    Booleans and integers first, then floats (bandwidth knobs such as
+    ``dram_bandwidth_gbps`` take fractional GB/s), then bare strings
+    (datatypes).
+    """
     text = value.strip()
     lowered = text.lower()
     if lowered in ("true", "false"):
         return lowered == "true"
     try:
         return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
     except ValueError:
         return text
 
@@ -326,6 +416,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_list_models()
         if args.command == "simulate":
             return _command_simulate(args)
+        if args.command == "roofline":
+            return _command_roofline(args)
         if args.command == "sweep":
             return _command_sweep(args)
         if args.command == "explore":

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
+from repro.memory.hierarchy import MemoryHierarchy
+
 
 #: Datatypes the hardware model supports.  The paper evaluates FP32 and
 #: bfloat16; the PE model is datatype agnostic so fixed-point widths are
@@ -104,6 +106,10 @@ class MemoryConfig:
     dram_gb: int = 16
     dram_channels: int = 4
     dram_mts: int = 3200
+    #: Zero-compress off-chip transfers (both designs do, per the paper's
+    #: methodology).  Disabling it feeds raw byte counts to the bandwidth
+    #: model and the DRAM energy accounting alike.
+    compress_offchip: bool = True
 
     @property
     def on_chip_kb_per_tile(self) -> int:
@@ -111,6 +117,20 @@ class MemoryConfig:
         return (
             self.am_kb_per_bank + self.bm_kb_per_bank + self.cm_kb_per_bank
         ) * self.banks_per_tile
+
+    @property
+    def peak_dram_bandwidth_gbps(self) -> float:
+        """Peak off-chip bandwidth in GB/s.
+
+        Delegates to :class:`repro.memory.dram.DRAMModel` so the
+        performance model (hierarchy, roofline CLI) and the DRAM
+        latency/energy model can never disagree on peak bandwidth.
+        """
+        from repro.memory.dram import DRAMModel
+
+        return DRAMModel(
+            channels=self.dram_channels, mts=self.dram_mts
+        ).peak_bandwidth_gbps
 
 
 @dataclass(frozen=True)
@@ -124,6 +144,12 @@ class AcceleratorConfig:
     pe: PEConfig = field(default_factory=PEConfig)
     tile: TileConfig = field(default_factory=TileConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
+    #: Bandwidth/capacity limits the cycle simulator enforces.  The
+    #: default is unbounded (infinite bandwidth), which reproduces the
+    #: compute-only cycle counts bit-exactly; set finite limits (or use
+    #: ``MemoryHierarchy.table2()`` / ``.edge()``) to make memory a
+    #: performance constraint.
+    hierarchy: MemoryHierarchy = field(default_factory=MemoryHierarchy)
     num_tiles: int = 16
     frequency_mhz: int = 500
     tech_node_nm: int = 65
@@ -158,6 +184,15 @@ class AcceleratorConfig:
         """Return a copy with PE fields overridden."""
         return replace(self, pe=replace(self.pe, **kwargs))
 
+    def with_hierarchy(self, **kwargs) -> "AcceleratorConfig":
+        """Return a copy with memory-hierarchy fields overridden.
+
+        Unset fields keep their current value, so limits compose::
+
+            config.with_hierarchy(dram_bandwidth_gbps=25.6).with_hierarchy(sram_kb=512)
+        """
+        return replace(self, hierarchy=replace(self.hierarchy, **kwargs))
+
     def with_tile(self, rows: int | None = None, columns: int | None = None) -> "AcceleratorConfig":
         """Return a copy with tile geometry overridden."""
         tile = TileConfig(
@@ -168,11 +203,21 @@ class AcceleratorConfig:
 
     def describe(self) -> str:
         """Human-readable one-line summary used by the benchmark harness."""
-        return (
+        text = (
             f"{self.num_tiles} tiles x {self.tile.rows}x{self.tile.columns} PEs x "
             f"{self.pe.lanes} MACs ({self.pe.datatype}, staging depth "
             f"{self.pe.staging_depth}, {self.frequency_mhz} MHz)"
         )
+        if not self.hierarchy.is_unbounded:
+            limits = []
+            if self.hierarchy.dram_bandwidth_gbps is not None:
+                limits.append(f"DRAM {self.hierarchy.dram_bandwidth_gbps:g} GB/s")
+            if self.hierarchy.sram_bandwidth_gbps is not None:
+                limits.append(f"SRAM {self.hierarchy.sram_bandwidth_gbps:g} GB/s")
+            if self.hierarchy.sram_kb is not None:
+                limits.append(f"SRAM {self.hierarchy.sram_kb} KB")
+            text += f" [memory: {', '.join(limits)}]"
+        return text
 
 
 def paper_default_config() -> AcceleratorConfig:

@@ -84,7 +84,9 @@ class HardwareScheduler:
         ]
 
     # -- single step --------------------------------------------------------
-    def schedule_step(self, effectual: np.ndarray) -> Schedule:
+    def schedule_step(
+        self, effectual: np.ndarray, advance_limit: Optional[int] = None
+    ) -> Schedule:
         """Schedule one cycle over a staging window.
 
         Parameters
@@ -96,6 +98,12 @@ class HardwareScheduler:
             the Z vector described in the paper (Z marks ineffectual
             pairs); the complement is used directly because it is what the
             priority encoders consume.
+        advance_limit:
+            Maximum rows the staging buffer can refill this cycle (the
+            scratchpad banking limit the memory hierarchy imposes);
+            ``None`` means unlimited — the legacy behaviour.  The AS
+            signal is clamped to it, so drained rows beyond the refill
+            bandwidth simply advance on a later cycle.
 
         Returns
         -------
@@ -124,6 +132,10 @@ class HardwareScheduler:
                     break
 
         advance = self._advance_rows(remaining)
+        if advance_limit is not None:
+            if advance_limit < 1:
+                raise ValueError(f"advance_limit must be >= 1, got {advance_limit}")
+            advance = min(advance, advance_limit)
         busy = sum(1 for s in selections if s is not None)
         return Schedule(
             selections=selections,
@@ -149,7 +161,11 @@ class HardwareScheduler:
         return max(advance, 1)
 
     # -- stream processing ---------------------------------------------------
-    def process_stream(self, effectual_rows: np.ndarray) -> Tuple[int, List[Schedule]]:
+    def process_stream(
+        self,
+        effectual_rows: np.ndarray,
+        advance_limit: Optional[int] = None,
+    ) -> Tuple[int, List[Schedule]]:
         """Process a whole stream of dense-schedule rows through one PE.
 
         Parameters
@@ -157,6 +173,9 @@ class HardwareScheduler:
         effectual_rows:
             Boolean array of shape ``(rows, lanes)``: which positions of the
             dense schedule hold effectual pairs.
+        advance_limit:
+            Per-cycle staging refill limit forwarded to
+            :meth:`schedule_step` (``None`` = unlimited).
 
         Returns
         -------
@@ -177,7 +196,7 @@ class HardwareScheduler:
             window = np.zeros((depth, lanes), dtype=bool)
             visible = min(depth, rows - position)
             window[:visible] = pending[position : position + visible]
-            schedule = self.schedule_step(window)
+            schedule = self.schedule_step(window, advance_limit=advance_limit)
             # Clear the consumed pairs from the pending stream.
             for selection in schedule.selections:
                 if selection is None:
@@ -211,7 +230,9 @@ class BatchScheduler:
             self.pattern.options_for_lane(lane) for lane in range(self.pattern.lanes)
         ]
 
-    def schedule(self, effectual: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def schedule(
+        self, effectual: np.ndarray, advance_limit: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Schedule a batch of windows.
 
         Parameters
@@ -219,6 +240,12 @@ class BatchScheduler:
         effectual:
             Boolean array of shape ``(batch, depth, lanes)`` of pending
             effectual pairs.
+        advance_limit:
+            Maximum rows the staging buffers can refill this cycle (the
+            scratchpad banking limit the memory hierarchy imposes);
+            ``None`` means unlimited.  Identical to the
+            :class:`HardwareScheduler` clamp, so the two implementations
+            stay bit-identical under any limit.
 
         Returns
         -------
@@ -255,19 +282,34 @@ class BatchScheduler:
         for step in range(depth):
             still_clear &= ~row_has_pending[:, step]
             advance += still_clear.astype(np.int64)
-        return claimed, np.maximum(advance, 1), busy
+        advance = np.maximum(advance, 1)
+        if advance_limit is not None:
+            if advance_limit < 1:
+                raise ValueError(f"advance_limit must be >= 1, got {advance_limit}")
+            advance = np.minimum(advance, advance_limit)
+        return claimed, advance, busy
 
-    def stream_cycles(self, effectual_rows: np.ndarray) -> int:
+    def stream_cycles(
+        self, effectual_rows: np.ndarray, advance_limit: Optional[int] = None
+    ) -> int:
         """Cycles for a single stream, via the batched kernel (convenience)."""
-        return int(self.stream_cycles_batch(effectual_rows[None, :, :])[0])
+        return int(
+            self.stream_cycles_batch(
+                effectual_rows[None, :, :], advance_limit=advance_limit
+            )[0]
+        )
 
-    def stream_cycles_batch(self, effectual_rows: np.ndarray) -> np.ndarray:
+    def stream_cycles_batch(
+        self, effectual_rows: np.ndarray, advance_limit: Optional[int] = None
+    ) -> np.ndarray:
         """Cycles for a batch of equally-long streams processed independently.
 
         Parameters
         ----------
         effectual_rows:
             Boolean array of shape ``(batch, rows, lanes)``.
+        advance_limit:
+            Per-cycle staging refill limit forwarded to :meth:`schedule`.
 
         Returns
         -------
@@ -289,7 +331,7 @@ class BatchScheduler:
             idx = np.nonzero(active)[0]
             gather = position[idx, None] + row_index[None, :]
             windows = padded[idx[:, None, None], gather[:, :, None], np.arange(lanes)[None, None, :]]
-            claimed, advance, _ = self.schedule(windows)
+            claimed, advance, _ = self.schedule(windows, advance_limit=advance_limit)
             # Clear consumed pairs in the padded stream.
             padded[idx[:, None, None], gather[:, :, None], np.arange(lanes)[None, None, :]] &= ~claimed
             remaining_rows = rows - position[idx]

@@ -1,5 +1,12 @@
 """Energy accounting: combine cycle counts and memory traffic into the
-core / SRAM / DRAM breakdown and efficiency ratios of Figs. 15 and 16."""
+core / SRAM / DRAM breakdown and efficiency ratios of Figs. 15 and 16.
+
+The byte counts come straight from the simulation results — callers pass
+:meth:`repro.simulation.runner.ModelResult.effective_traffic`, whose DRAM
+bytes are exactly what the memory-hierarchy bandwidth model enforced
+(zero compression and capacity spill included).  Energy and performance
+therefore always agree on how many bytes moved; nothing is recounted
+here."""
 
 from __future__ import annotations
 

@@ -26,6 +26,15 @@ so all of them are bit-identical by construction (and by test):
 New execution strategies (distributed, GPU, ...) plug in by subclassing
 :class:`SimulationBackend` and calling :func:`register_backend`; nothing
 above this layer needs to change.
+
+Memory awareness: backends produce *compute* cycles.  The per-window
+staging-refill clamp a finite :class:`~repro.memory.hierarchy.MemoryHierarchy`
+imposes lives in the schedulers (every backend path forwards
+``Accelerator.refill_limit``), and the operation-level bandwidth
+constraint — stall cycles and the compute/memory-bound verdict — is
+applied uniformly above this layer by
+:meth:`repro.simulation.cycle_sim.LayerSimulator.simulate_layer`.  Backend
+choice therefore can never affect memory-aware results either.
 """
 
 from __future__ import annotations
@@ -142,7 +151,12 @@ class ReferenceBackend(SimulationBackend):
                 window = np.zeros((depth, lanes), dtype=bool)
                 visible = min(depth, stream_rows - position)
                 window[:visible] = pending[row, position : position + visible]
-                schedule = scheduler.schedule_step(window)
+                # The same per-window staging-refill clamp the batched
+                # paths apply, so the oracle stays bit-identical under
+                # finite memory hierarchies too.
+                schedule = scheduler.schedule_step(
+                    window, advance_limit=accelerator.refill_limit
+                )
                 for selection in schedule.selections:
                     if selection is None:
                         continue

@@ -5,7 +5,9 @@ layer trace) pairs over and over; this cache makes the second and later
 runs free.  Entries are keyed by a SHA-256 over three fingerprints:
 
 * the **configuration fingerprint** — every field of the
-  :class:`~repro.core.config.AcceleratorConfig` plus the stream-sampling
+  :class:`~repro.core.config.AcceleratorConfig` (including the
+  memory-hierarchy bandwidth/capacity parameters, so results produced
+  under different hierarchies can never collide) plus the stream-sampling
   parameters (``max_groups``, ``max_batch``) that shape the simulated work;
 * the **trace fingerprint** — the layer's hyper-parameters and the raw
   bytes of its boolean operand masks;
@@ -36,7 +38,9 @@ from typing import Optional, Union
 import numpy as np
 
 #: Bump to invalidate every existing cache entry after a format change.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2 added the memory-hierarchy fields (stall cycles, effective
+#: DRAM bytes, bound verdict) to the per-operation payload.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _hasher() -> "hashlib._Hash":
@@ -96,6 +100,11 @@ def _result_to_payload(result) -> dict:
                 "tensordash_cycles": int(op.tensordash_cycles),
                 "macs_total": int(op.macs_total),
                 "macs_effectual": int(op.macs_effectual),
+                "baseline_stall_cycles": int(op.baseline_stall_cycles),
+                "tensordash_stall_cycles": int(op.tensordash_stall_cycles),
+                "memory_cycles": int(op.memory_cycles),
+                "dram_bytes": int(op.dram_bytes),
+                "bound": str(op.bound),
             }
             for name, op in result.operations.items()
         },

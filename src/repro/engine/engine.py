@@ -82,8 +82,11 @@ class SimulationEngine:
     cache_dir:
         Directory for the on-disk result cache; ``None`` disables caching.
         Entries are keyed by (config hash, trace hash, backend), so any
-        change to the accelerator configuration, the sampling parameters,
-        the traced operands or the backend invalidates them structurally.
+        change to the accelerator configuration — including the
+        memory-hierarchy bandwidth/capacity parameters — the sampling
+        parameters, the traced operands or the backend invalidates them
+        structurally; results simulated under different hierarchies can
+        never collide.
     max_groups / max_batch:
         Stream-sampling parameters, forwarded to the layer simulator (and
         folded into the cache key).

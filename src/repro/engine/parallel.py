@@ -13,6 +13,11 @@ Layers are the sharding unit because they are completely independent: the
 accelerator model is stateless across layers and the traced operand masks
 are immutable.  Work is interleaved round-robin-by-chunk to smooth the
 skew between big early conv layers and tiny late FC layers.
+
+The memory hierarchy travels with the pickled configuration, so each
+worker's simulator applies the same bandwidth constraint (and the same
+staging-refill clamp) as the in-process backends — memory-aware results
+stay bit-identical across backends.
 """
 
 from __future__ import annotations

@@ -63,6 +63,42 @@ def format_frontier_table(
     )
 
 
+def format_roofline_section(result: StudyResult) -> Optional[str]:
+    """Roofline summary: each point's intensity against its ridge point.
+
+    A point is reported memory-bound when the simulator recorded any
+    memory-bound operation for it; points evaluated under an unbounded
+    hierarchy have no ridge point and are always compute-bound.  Returns
+    ``None`` when no point carries roofline metrics (e.g. a study resumed
+    from a pre-memory-model manifest).
+    """
+    rows = []
+    for point in result.points:
+        metrics = point.metrics
+        if "operational_intensity" not in metrics:
+            continue
+        ridge = metrics.get("ridge_point")
+        verdict = "memory" if metrics.get("memory_bound_fraction", 0.0) > 0 else "compute"
+        rows.append(
+            [
+                point.workload,
+                point.scenario,
+                point.config_label,
+                metrics["operational_intensity"],
+                ridge if ridge is not None else "-",
+                metrics.get("stall_fraction", 0.0),
+                verdict,
+            ]
+        )
+    if not rows:
+        return None
+    return format_table(
+        "Roofline (MACs per DRAM byte; bound = memory when any operation stalled)",
+        ["workload", "scenario", "configuration", "intensity", "ridge", "stall", "bound"],
+        rows,
+    )
+
+
 def format_study_report(
     result: StudyResult, names: Optional[Sequence[str]] = None
 ) -> str:
@@ -85,6 +121,9 @@ def format_study_report(
             f"  {objective.name} ({direction}): {point.label} "
             f"-> {point.metrics[objective.name]:.3f}"
         )
+    roofline = format_roofline_section(result)
+    if roofline is not None:
+        lines.extend(["", roofline])
     if result.resumed_points:
         lines.append(
             f"Resumed: {result.resumed_points} point(s) restored from the manifest."

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.analysis.frontier import Objective, best_per_objective, pareto_frontier
 from repro.energy.area_model import AreaModel
 from repro.engine.engine import EngineStats
+from repro.memory.hierarchy import bytes_per_cycle
 from repro.explore.scenarios import apply_scenario
 from repro.explore.spec import DesignPoint, StudySpec, parse_objectives
 from repro.simulation.runner import ExperimentRunner
@@ -254,6 +255,7 @@ class StudyRunner:
         config = point.config()
         report = runner.energy_report(model_result, power_gated=config.power_gated)
         area = AreaModel(config)
+        dram_bytes = model_result.effective_dram_bytes()
         metrics = {
             "speedup": model_result.speedup(),
             "energy_efficiency": report.overall_efficiency,
@@ -262,7 +264,22 @@ class StudyRunner:
             "chip_area_overhead": area.chip_overhead(),
             "baseline_energy_pj": report.baseline.total_pj,
             "tensordash_energy_pj": report.tensordash.total_pj,
+            # Memory-hierarchy metrics: zero stalls / compute-bound under
+            # the default unbounded hierarchy, meaningful whenever the
+            # point sweeps dram_bandwidth_gbps or sram_kb.
+            "stall_fraction": model_result.stall_fraction(),
+            "dram_bytes": float(dram_bytes),
+            "memory_bound_fraction": model_result.memory_bound_fraction(),
+            # Finite even when no DRAM traffic was recorded (0.0, not inf),
+            # so manifests stay strict-JSON parseable.
+            "operational_intensity": (
+                model_result.total_macs() / dram_bytes if dram_bytes else 0.0
+            ),
         }
+        if config.hierarchy.dram_bandwidth_gbps is not None:
+            metrics["ridge_point"] = config.macs_per_cycle / bytes_per_cycle(
+                config.hierarchy.dram_bandwidth_gbps, config.frequency_mhz
+            )
         return PointResult(
             point_id=point.point_id,
             workload=point.workload,

@@ -40,6 +40,10 @@ def _apply_power_gating(config: AcceleratorConfig, value) -> AcceleratorConfig:
 
 
 #: Sweepable accelerator knobs: name -> (apply, value coercion).
+#: ``dram_bandwidth_gbps`` and ``sram_kb`` sweep the memory hierarchy, so
+#: bandwidth-starved edge machines and the paper's Table 2 machine live in
+#: one study; both knobs make the swept points memory-aware (finite
+#: hierarchy), which the engine cache keys on automatically.
 KNOBS: Dict[str, Callable[[AcceleratorConfig, object], AcceleratorConfig]] = {
     "tiles": lambda c, v: replace(c, num_tiles=int(v)),
     "rows": lambda c, v: c.with_tile(rows=int(v)),
@@ -48,6 +52,10 @@ KNOBS: Dict[str, Callable[[AcceleratorConfig, object], AcceleratorConfig]] = {
     "staging": lambda c, v: c.with_pe(staging_depth=int(v)),
     "datatype": lambda c, v: c.with_pe(datatype=str(v)),
     "power_gating": _apply_power_gating,
+    "dram_bandwidth_gbps": lambda c, v: c.with_hierarchy(
+        dram_bandwidth_gbps=float(v)
+    ),
+    "sram_kb": lambda c, v: c.with_hierarchy(sram_kb=int(v)),
 }
 
 #: Metrics a study records per point, with their optimisation direction.
@@ -58,6 +66,10 @@ METRIC_ORIENTATIONS: Dict[str, bool] = {
     "core_energy_efficiency": True,
     "area_overhead": False,
     "chip_area_overhead": False,
+    "stall_fraction": False,
+    "dram_bytes": False,
+    "memory_bound_fraction": False,
+    "operational_intensity": True,
 }
 
 #: The paper's three-way trade-off, the default frontier objectives.

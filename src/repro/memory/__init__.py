@@ -1,4 +1,6 @@
-"""Memory-hierarchy models: tensor layout, transposers, SRAM, DRAM, compression."""
+"""Memory-hierarchy models: layout, transposers, SRAM, DRAM, compression,
+traffic counting, and the bandwidth/capacity performance model
+(:mod:`repro.memory.hierarchy`) the cycle simulator enforces."""
 
 from repro.memory.layout import GroupedTensorLayout, TensorGroup
 from repro.memory.transposer import Transposer
@@ -10,6 +12,7 @@ from repro.memory.compression import (
     run_length_decode,
 )
 from repro.memory.traffic import TrafficCounter, MemoryTraffic
+from repro.memory.hierarchy import MemoryHierarchy, MemoryVerdict, bytes_per_cycle
 
 __all__ = [
     "GroupedTensorLayout",
@@ -24,4 +27,7 @@ __all__ = [
     "run_length_decode",
     "TrafficCounter",
     "MemoryTraffic",
+    "MemoryHierarchy",
+    "MemoryVerdict",
+    "bytes_per_cycle",
 ]

@@ -32,11 +32,15 @@ class MemoryTraffic:
         )
 
     def scaled(self, factor: float) -> "MemoryTraffic":
-        """Scale all counts (used when extrapolating from sampled streams)."""
+        """Scale all counts (used when extrapolating from sampled streams).
+
+        Counts are rounded to the nearest byte rather than truncated, so
+        extrapolated traffic does not systematically undercount.
+        """
         return MemoryTraffic(
-            dram_bytes=int(self.dram_bytes * factor),
-            sram_bytes=int(self.sram_bytes * factor),
-            scratchpad_bytes=int(self.scratchpad_bytes * factor),
+            dram_bytes=int(round(self.dram_bytes * factor)),
+            sram_bytes=int(round(self.sram_bytes * factor)),
+            scratchpad_bytes=int(round(self.scratchpad_bytes * factor)),
         )
 
 

@@ -18,7 +18,17 @@ so backend choice is purely a wall-clock decision.  For cross-run reuse,
 wrap the simulator in a :class:`repro.engine.SimulationEngine` with a
 ``cache_dir`` — results are then cached on disk keyed by (config hash,
 trace hash, backend) and invalidated structurally whenever any of those
-inputs change.
+inputs change (the memory-hierarchy parameters are part of the config
+hash, so differing hierarchies can never collide in the cache).
+
+Memory awareness: after a backend returns an operation's compute cycles,
+the simulator consults ``config.hierarchy``
+(:class:`repro.memory.hierarchy.MemoryHierarchy`) with the operation's
+byte counts and records the bandwidth-constrained totals —
+``max(compute_cycles, ceil(bytes / bytes_per_cycle))`` per level — plus
+stall cycles and a compute/memory-bound verdict in each
+:class:`OperationResult`.  The default hierarchy is unbounded, which
+leaves every cycle count bit-identical to the compute-only model.
 """
 
 from __future__ import annotations
@@ -68,6 +78,29 @@ class LayerResult:
     def tensordash_cycles(self) -> int:
         return sum(op.tensordash_cycles for op in self.operations.values())
 
+    @property
+    def stall_cycles(self) -> int:
+        """TensorDash memory-stall cycles summed across operations."""
+        return sum(op.tensordash_stall_cycles for op in self.operations.values())
+
+    @property
+    def baseline_stall_cycles(self) -> int:
+        """Baseline memory-stall cycles summed across operations."""
+        return sum(op.baseline_stall_cycles for op in self.operations.values())
+
+    def stall_fraction(self) -> float:
+        """Share of TensorDash's total cycles spent stalled on memory."""
+        total = self.tensordash_cycles
+        return self.stall_cycles / total if total else 0.0
+
+    def memory_bound_operations(self) -> List[str]:
+        """Names of the operations whose pace memory bandwidth set."""
+        return [name for name, op in self.operations.items() if op.memory_bound]
+
+    def effective_dram_bytes(self) -> int:
+        """DRAM bytes the bandwidth model charged (incl. capacity spill)."""
+        return sum(op.dram_bytes for op in self.operations.values())
+
     def total_traffic(self) -> MemoryTraffic:
         """Summed memory traffic across operations."""
         total = MemoryTraffic()
@@ -104,7 +137,10 @@ class LayerSimulator:
             max_batch=max_batch,
         )
         value_bytes = self.config.pe.value_bits // 8
-        self.traffic_counter = TrafficCounter(value_bytes=value_bytes)
+        self.traffic_counter = TrafficCounter(
+            value_bytes=value_bytes,
+            compress_offchip=self.config.memory.compress_offchip,
+        )
 
     # ------------------------------------------------------------------
     def _streams_for_trace(self, trace: LayerTrace) -> Dict[str, OperandStreams]:
@@ -146,6 +182,37 @@ class LayerSimulator:
             )
         return traffic
 
+    def _constrain(
+        self, op_result: OperationResult, traffic: Optional[MemoryTraffic]
+    ) -> OperationResult:
+        """Impose the configured memory hierarchy on one operation.
+
+        Both designs share the hierarchy (and the byte counts), so the
+        baseline and TensorDash compute cycles are constrained by the same
+        per-level memory-cycle floor; the recorded verdict and effective
+        DRAM bytes describe the TensorDash design.  With the default
+        unbounded hierarchy the totals are returned unchanged (zero
+        stalls), keeping the legacy cycle counts bit-exact.
+        """
+        if traffic is None:
+            return op_result
+        hierarchy = self.config.hierarchy
+        frequency = self.config.frequency_mhz
+        base = hierarchy.constrain(op_result.baseline_cycles, traffic, frequency)
+        dash = hierarchy.constrain(op_result.tensordash_cycles, traffic, frequency)
+        return OperationResult(
+            name=op_result.name,
+            baseline_cycles=base.total_cycles,
+            tensordash_cycles=dash.total_cycles,
+            macs_total=op_result.macs_total,
+            macs_effectual=op_result.macs_effectual,
+            baseline_stall_cycles=base.stall_cycles,
+            tensordash_stall_cycles=dash.stall_cycles,
+            memory_cycles=max(dash.dram_cycles, dash.sram_cycles),
+            dram_bytes=dash.dram_bytes,
+            bound=dash.bound,
+        )
+
     def simulate_layer(self, trace: LayerTrace) -> LayerResult:
         """Simulate all traced operations of one layer.
 
@@ -153,9 +220,12 @@ class LayerSimulator:
         cycle and MAC counts are scaled back up by the sampling factor so
         that they stay commensurate with the (unsampled) memory-traffic
         estimates used by the energy accounting.  Speedups are ratios and
-        are unaffected by the scaling.
+        are unaffected by the scaling.  The memory hierarchy is consulted
+        *after* scaling, so the bandwidth constraint sees full-operation
+        compute cycles against full-operation byte counts.
         """
         result = LayerResult(layer_name=trace.layer_name)
+        result.traffic = self._traffic_for_trace(trace)
         streams = self._streams_for_trace(trace)
         for operation, operand_streams in streams.items():
             op_result = self.backend.run_operation(
@@ -170,8 +240,9 @@ class LayerSimulator:
                     macs_total=int(round(op_result.macs_total * factor)),
                     macs_effectual=int(round(op_result.macs_effectual * factor)),
                 )
-            result.operations[operation] = op_result
-        result.traffic = self._traffic_for_trace(trace)
+            result.operations[operation] = self._constrain(
+                op_result, result.traffic.get(operation)
+            )
         return result
 
     def simulate_layers(self, traces: List[LayerTrace]) -> List[LayerResult]:

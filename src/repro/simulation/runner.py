@@ -94,6 +94,69 @@ class ModelResult:
             total = total + layer.total_traffic()
         return total
 
+    def effective_traffic(self) -> MemoryTraffic:
+        """Traffic with the DRAM bytes the bandwidth model actually charged.
+
+        The per-operation ``dram_bytes`` recorded by the memory hierarchy
+        (compressed traffic plus any capacity spill) replace the raw DRAM
+        counts, so energy accounting and the bandwidth constraint share
+        one set of byte counts.  SRAM/scratchpad counts are unchanged.
+        With an unbounded hierarchy this can still differ from
+        :meth:`total_traffic` only for layers without recorded operations.
+        """
+        total = self.total_traffic()
+        dram = self.effective_dram_bytes()
+        if dram == 0:
+            return total
+        return MemoryTraffic(
+            dram_bytes=dram,
+            sram_bytes=total.sram_bytes,
+            scratchpad_bytes=total.scratchpad_bytes,
+        )
+
+    # -- memory-hierarchy aggregates ------------------------------------
+    def stall_cycles(self) -> Dict[str, int]:
+        """Baseline/TensorDash memory-stall cycle totals."""
+        return {
+            "baseline": sum(l.baseline_stall_cycles for l in self.layer_results),
+            "tensordash": sum(l.stall_cycles for l in self.layer_results),
+        }
+
+    def stall_fraction(self) -> float:
+        """Share of TensorDash's total cycles spent stalled on memory."""
+        totals = self.cycles()
+        if not totals["tensordash"]:
+            return 0.0
+        return self.stall_cycles()["tensordash"] / totals["tensordash"]
+
+    def effective_dram_bytes(self) -> int:
+        """DRAM bytes the bandwidth model charged across all layers."""
+        return sum(layer.effective_dram_bytes() for layer in self.layer_results)
+
+    def bound_counts(self) -> Dict[str, int]:
+        """How many (layer, operation) pairs each resource bound."""
+        counts: Dict[str, int] = {}
+        for layer in self.layer_results:
+            for op in layer.operations.values():
+                counts[op.bound] = counts.get(op.bound, 0) + 1
+        return counts
+
+    def memory_bound_fraction(self) -> float:
+        """Fraction of simulated operations that were memory-bound."""
+        counts = self.bound_counts()
+        total = sum(counts.values())
+        if not total:
+            return 0.0
+        return sum(n for bound, n in counts.items() if bound != "compute") / total
+
+    def total_macs(self) -> int:
+        """Total MACs across layers and operations (work, not cycles)."""
+        return sum(
+            op.macs_total
+            for layer in self.layer_results
+            for op in layer.operations.values()
+        )
+
 
 class ExperimentRunner:
     """Runs trace-driven accelerator simulations for whole models."""
@@ -212,9 +275,15 @@ class ExperimentRunner:
         return result
 
     def energy_report(self, result: ModelResult, power_gated: bool = False) -> EfficiencyReport:
-        """Core and overall energy efficiency for one model result."""
+        """Core and overall energy efficiency for one model result.
+
+        Uses :meth:`ModelResult.effective_traffic`, so the DRAM energy is
+        charged for exactly the bytes the bandwidth model enforced
+        (compression and capacity spill included) — one byte count shared
+        by the performance and energy models.
+        """
         cycles = result.cycles()
-        traffic = result.total_traffic()
+        traffic = result.effective_traffic()
         return self.accountant.efficiency(
             baseline_cycles=cycles["baseline"],
             tensordash_cycles=cycles["tensordash"],

@@ -18,7 +18,10 @@ operand tensors and groups them into tile-row work groups:
 Streams can be subsampled (``max_groups``) to keep full-model simulation
 tractable; sampling is deterministic (evenly spaced) so results are
 reproducible, and speedups remain ratios over identical work for baseline
-and TensorDash.
+and TensorDash.  The cycle simulator scales sampled cycle counts back up
+by :attr:`OperandStreams.sampling_factor` before consulting the memory
+hierarchy, so the bandwidth constraint always compares full-operation
+compute cycles against the (unsampled) full-operation byte counts.
 """
 
 from __future__ import annotations
@@ -59,6 +62,7 @@ class OperandStreams:
         if self.sampled_groups == 0:
             return 1.0
         return self.total_groups / self.sampled_groups
+
 
 
 def _pad_lanes(vectors: np.ndarray, lanes: int) -> np.ndarray:

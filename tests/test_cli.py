@@ -27,6 +27,22 @@ class TestParser:
         assert args.knob == "staging"
         assert args.values == "2,3"
 
+    def test_roofline_defaults(self):
+        args = build_parser().parse_args(["roofline", "snli"])
+        assert args.model == "snli"
+        assert args.dram_bandwidth_gbps is None   # Table 2 peak at runtime
+        assert args.sram_kb is None
+        assert args.backend == "vectorized"
+
+    def test_roofline_accepts_hierarchy_flags(self):
+        args = build_parser().parse_args([
+            "roofline", "alexnet", "--dram-bandwidth-gbps", "12.8",
+            "--sram-kb", "256", "--sram-bandwidth-gbps", "100",
+        ])
+        assert args.dram_bandwidth_gbps == 12.8
+        assert args.sram_kb == 256
+        assert args.sram_bandwidth_gbps == 100.0
+
 
 class TestCommands:
     def test_list_models_prints_registry(self, capsys):
@@ -65,3 +81,35 @@ class TestCommands:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "datatype=bfloat16" in output
+
+    def test_roofline_smoke(self, capsys):
+        """Tier-1 smoke for the new subcommand: a starved-bandwidth run
+        classifies operations memory-bound and reports the stall split."""
+        exit_code = main([
+            "roofline", "snli", "--epochs", "1", "--batches-per-epoch", "1",
+            "--batch-size", "4", "--max-groups", "8",
+            "--dram-bandwidth-gbps", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ridge point" in output
+        assert "Memory-bound operations" in output
+        assert "dram" in output
+        assert "Speedup (with stalls)" in output
+
+    def test_roofline_rejects_bad_bandwidth(self):
+        with pytest.raises(SystemExit):
+            main([
+                "roofline", "snli", "--epochs", "1",
+                "--dram-bandwidth-gbps", "-3",
+            ])
+
+    def test_sweep_dram_bandwidth_knob(self, capsys):
+        exit_code = main([
+            "sweep", "snli", "--knob", "dram_bandwidth_gbps",
+            "--values", "2,51.2", "--epochs", "1", "--max-groups", "8",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "dram_bandwidth_gbps=2" in output
+        assert "dram_bandwidth_gbps=51.2" in output

@@ -180,6 +180,45 @@ class TestSystemEquivalence:
         assert_results_identical(engine.simulate_layers(traces),
                                  reference_results)
 
+    def test_all_backends_identical_under_finite_hierarchy(self, traces):
+        """Memory-aware results are backend-invariant too (incl. stalls)."""
+        config = AcceleratorConfig().with_hierarchy(
+            dram_bandwidth_gbps=4.0, sram_kb=128
+        )
+        reference = SimulationEngine(
+            config, backend="reference", max_groups=16
+        ).simulate_layers(traces)
+        assert any(
+            op.memory_bound
+            for result in reference
+            for op in result.operations.values()
+        )
+        for backend, jobs in (("vectorized", None), ("parallel", 2)):
+            results = SimulationEngine(
+                config, backend=backend, jobs=jobs, max_groups=16
+            ).simulate_layers(traces)
+            assert_results_identical(results, reference)
+
+    def test_refill_clamp_equivalence_deep_staging(self):
+        """staging depth > scratchpad banks: the clamp binds, backends agree."""
+        rng = np.random.default_rng(11)
+        config = AcceleratorConfig().with_pe(staging_depth=4).with_hierarchy(
+            dram_bandwidth_gbps=51.2
+        )
+        acc = Accelerator(config)
+        # Single-row groups: the group advance equals the row advance, so
+        # highly sparse streams regularly drain all 4 staging rows at once
+        # and hit the 3-bank refill ceiling.
+        groups = random_groups(rng, 8, 1, 40, sparsity=0.97)
+        ref = ReferenceBackend().run_operation(acc, "AxW", groups)
+        vec = VectorizedBackend().run_operation(acc, "AxW", groups)
+        assert ref == vec
+        unclamped = VectorizedBackend().run_operation(
+            Accelerator(AcceleratorConfig().with_pe(staging_depth=4)),
+            "AxW", groups,
+        )
+        assert vec.tensordash_cycles > unclamped.tensordash_cycles
+
     def test_layers_without_masks_are_skipped(self, traces):
         engine = SimulationEngine(backend="vectorized", max_groups=16)
         bare = LayerTrace(layer_name="untraced", layer_type="conv")
@@ -226,6 +265,43 @@ class TestResultCache:
         other.simulate_layers(traces)
         assert other.stats.cache_hits == 0
         assert other.stats.cache_misses == len(traces)
+
+    def test_hierarchy_change_invalidates(self, traces, tmp_path):
+        """Results from differing memory hierarchies must never collide."""
+        SimulationEngine(backend="vectorized", cache_dir=tmp_path,
+                         max_groups=16).simulate_layers(traces)
+        bounded = SimulationEngine(
+            AcceleratorConfig().with_hierarchy(dram_bandwidth_gbps=4.0),
+            backend="vectorized", cache_dir=tmp_path, max_groups=16,
+        )
+        bounded.simulate_layers(traces)
+        assert bounded.stats.cache_hits == 0
+        assert bounded.stats.cache_misses == len(traces)
+        # A different bandwidth is again a different key...
+        other = SimulationEngine(
+            AcceleratorConfig().with_hierarchy(dram_bandwidth_gbps=8.0),
+            backend="vectorized", cache_dir=tmp_path, max_groups=16,
+        )
+        other.simulate_layers(traces)
+        assert other.stats.cache_hits == 0
+        # ...while re-running the same bounded config is all hits, with
+        # the stall/bound fields surviving the round trip.
+        again = SimulationEngine(
+            AcceleratorConfig().with_hierarchy(dram_bandwidth_gbps=4.0),
+            backend="vectorized", cache_dir=tmp_path, max_groups=16,
+        )
+        cached = again.simulate_layers(traces)
+        assert again.stats.cache_hits == len(traces)
+        fresh = SimulationEngine(
+            AcceleratorConfig().with_hierarchy(dram_bandwidth_gbps=4.0),
+            backend="vectorized", max_groups=16,
+        ).simulate_layers(traces)
+        assert_results_identical(cached, fresh)
+        assert any(
+            op.tensordash_stall_cycles > 0
+            for result in cached
+            for op in result.operations.values()
+        )
 
     def test_backend_is_part_of_the_key(self, traces, tmp_path):
         SimulationEngine(backend="vectorized", cache_dir=tmp_path,

@@ -36,6 +36,68 @@ def study(tmp_path_factory):
     return study_dir, runner.run()
 
 
+class TestMemoryKnobs:
+    """The memory hierarchy as a swept study axis."""
+
+    @pytest.fixture(scope="class")
+    def bandwidth_study(self):
+        spec = tiny_spec(
+            name="bandwidth",
+            knobs={"dram_bandwidth_gbps": [2, 51.2]},
+            objectives=["speedup", "stall_fraction", "dram_bytes"],
+        )
+        return StudyRunner(spec).run()
+
+    def test_memory_metrics_recorded(self, bandwidth_study):
+        for point in bandwidth_study.points:
+            metrics = point.metrics
+            assert 0.0 <= metrics["stall_fraction"] <= 1.0
+            assert metrics["dram_bytes"] > 0
+            assert metrics["operational_intensity"] > 0
+            assert 0.0 <= metrics["memory_bound_fraction"] <= 1.0
+            assert metrics["ridge_point"] > 0
+
+    def test_starved_point_stalls_more_than_table2_point(self, bandwidth_study):
+        by_label = {p.config_label: p for p in bandwidth_study.points}
+        starved = by_label["dram_bandwidth_gbps=2"]
+        roomy = by_label["dram_bandwidth_gbps=51.2"]
+        assert starved.metrics["stall_fraction"] >= roomy.metrics["stall_fraction"]
+        assert starved.metrics["stall_fraction"] > 0
+        assert starved.metrics["memory_bound_fraction"] > 0
+        assert starved.metrics["speedup"] <= roomy.metrics["speedup"]
+
+    def test_stall_and_dram_objectives_drive_the_frontier(self, bandwidth_study):
+        frontier = bandwidth_study.frontier(["speedup", "stall_fraction"])
+        assert frontier
+        best = bandwidth_study.best_per_objective(["stall_fraction"])
+        assert best["stall_fraction"].config_label == "dram_bandwidth_gbps=51.2"
+
+    def test_report_includes_roofline_section(self, bandwidth_study):
+        from repro.explore.report import format_roofline_section, format_study_report
+
+        section = format_roofline_section(bandwidth_study)
+        assert section is not None
+        assert "Roofline" in section
+        assert "ridge" in section
+        assert "memory" in section
+        assert section in format_study_report(bandwidth_study)
+
+    def test_sram_kb_knob_increases_dram_bytes_when_tiny(self):
+        spec = tiny_spec(name="capacity", knobs={"sram_kb": [1, 4096]})
+        result = StudyRunner(spec).run()
+        by_label = {p.config_label: p for p in result.points}
+        assert (
+            by_label["sram_kb=1"].metrics["dram_bytes"]
+            > by_label["sram_kb=4096"].metrics["dram_bytes"]
+        )
+
+    def test_unbounded_points_have_no_ridge_metric(self, study):
+        _, result = study
+        for point in result.points:
+            assert "ridge_point" not in point.metrics
+            assert point.metrics["stall_fraction"] == 0.0
+
+
 class TestStudyRunner:
     def test_every_point_recorded_in_order(self, study):
         _, result = study

@@ -59,6 +59,12 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="invalid value"):
             small_spec(knobs={"rows": [0]})
 
+    def test_rejects_invalid_memory_knob_values(self):
+        with pytest.raises(ValueError, match="invalid value"):
+            small_spec(knobs={"dram_bandwidth_gbps": [0]})
+        with pytest.raises(ValueError, match="invalid value"):
+            small_spec(knobs={"sram_kb": [-1]})
+
     def test_rejects_empty_knob_values(self):
         with pytest.raises(ValueError, match="non-empty list"):
             small_spec(knobs={"rows": []})
@@ -129,6 +135,13 @@ class TestExpansion:
         assert config.pe.staging_depth == 2
         assert config.pe.datatype == "bfloat16"
         assert config.power_gated
+
+    def test_config_applies_memory_hierarchy_knobs(self):
+        spec = small_spec(knobs={"dram_bandwidth_gbps": [12.8], "sram_kb": [256]})
+        config = spec.expand()[0].config()
+        assert config.hierarchy.dram_bandwidth_gbps == 12.8
+        assert config.hierarchy.sram_kb == 256
+        assert not config.hierarchy.is_unbounded
 
     def test_random_sampling_is_seeded_subset(self):
         spec = small_spec(mode="random", sample=3, seed=42)

@@ -1,0 +1,110 @@
+"""Dedicated coverage for ``repro.memory.sram`` banking behaviour.
+
+The staging buffers refill up to ``staging_depth`` rows per cycle, so the
+scratchpads are banked at least that deep (Table 2: 3 banks of 1 KB);
+these tests pin down the striping, rounding and counter arithmetic the
+rest of the memory model builds on.
+"""
+
+import pytest
+
+from repro.memory.sram import BankedSRAM, Scratchpad, SRAMBank
+
+
+class TestSRAMBank:
+    def test_defaults_and_counters_start_clean(self):
+        bank = SRAMBank(capacity_bytes=2048)
+        assert bank.width_bytes == 64
+        assert bank.reads == 0 and bank.writes == 0
+        assert bank.total_accesses == 0
+        assert bank.bytes_read() == 0 and bank.bytes_written() == 0
+
+    def test_read_write_accumulate_independently(self):
+        bank = SRAMBank(capacity_bytes=1024, width_bytes=32)
+        bank.read(4)
+        bank.read()
+        bank.write(2)
+        assert bank.reads == 5
+        assert bank.writes == 2
+        assert bank.bytes_read() == 5 * 32
+        assert bank.bytes_written() == 2 * 32
+
+    def test_zero_access_count_is_allowed(self):
+        bank = SRAMBank(capacity_bytes=1024)
+        bank.read(0)
+        bank.write(0)
+        assert bank.total_accesses == 0
+
+    @pytest.mark.parametrize("method", ["read", "write"])
+    def test_negative_counts_rejected(self, method):
+        bank = SRAMBank(capacity_bytes=1024)
+        with pytest.raises(ValueError):
+            getattr(bank, method)(-3)
+
+
+class TestBankedSRAM:
+    def test_rejects_nonpositive_bank_count(self):
+        with pytest.raises(ValueError):
+            BankedSRAM("AM", banks=0)
+
+    def test_capacity_sums_banks(self):
+        sram = BankedSRAM("BM", banks=3, kb_per_bank=8)
+        assert sram.capacity_bytes == 3 * 8 * 1024
+
+    def test_access_count_rounds_up_to_width(self):
+        sram = BankedSRAM("AM", banks=4, width_bytes=64)
+        assert sram.access(1) == 1          # partial line still costs a line
+        assert sram.access(64) == 1
+        assert sram.access(65) == 2
+        assert sram.access(0) == 0
+
+    def test_striping_is_balanced_within_one(self):
+        for total_accesses in (1, 3, 4, 5, 17, 64):
+            sram = BankedSRAM("AM", banks=4, width_bytes=64)
+            sram.access(total_accesses * 64)
+            per_bank = [bank.reads for bank in sram.banks]
+            assert sum(per_bank) == total_accesses
+            assert max(per_bank) - min(per_bank) <= 1
+
+    def test_round_robin_continues_across_calls(self):
+        sram = BankedSRAM("AM", banks=4, width_bytes=64)
+        for _ in range(6):
+            sram.access(64)
+        per_bank = [bank.reads for bank in sram.banks]
+        assert sum(per_bank) == 6
+        assert max(per_bank) - min(per_bank) <= 1
+
+    def test_reads_and_writes_tracked_separately(self):
+        sram = BankedSRAM("CM", banks=2, width_bytes=64)
+        sram.access(256)
+        sram.access(128, write=True)
+        assert sram.total_reads == 4
+        assert sram.total_writes == 2
+        assert sram.total_accesses == 6
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            BankedSRAM("AM").access(-1)
+
+
+class TestScratchpad:
+    def test_table2_defaults(self):
+        pad = Scratchpad("A-pad")
+        assert len(pad.sram.banks) == 3
+        assert pad.sram.capacity_bytes == 3 * 1024
+
+    def test_refill_rows_one_access_per_narrow_row(self):
+        pad = Scratchpad("A-pad", banks=3, width_bytes=64)
+        # A 16-lane FP32 row is 64 bytes: exactly one full-width access.
+        assert pad.refill_rows(rows=5, row_bytes=64) == 5
+        assert pad.total_accesses == 5
+
+    def test_wide_rows_cost_multiple_accesses(self):
+        pad = Scratchpad("B-pad", banks=3, width_bytes=64)
+        assert pad.refill_rows(rows=2, row_bytes=130) == 2 * 3
+
+    def test_spill_outputs_counts_writes(self):
+        pad = Scratchpad("C-pad")
+        pad.spill_outputs(values=32, value_bytes=4)   # 128 bytes -> 2 lines
+        assert pad.sram.total_writes == 2
+        assert pad.sram.total_reads == 0

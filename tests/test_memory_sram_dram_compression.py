@@ -167,6 +167,24 @@ class TestTrafficCounter:
         scaled = traffic.scaled(2.5)
         assert scaled.sram_bytes == 500
 
+    def test_scaled_rounds_instead_of_truncating(self):
+        # Regression: int() used to floor every count, so extrapolating
+        # sampled streams systematically undercounted traffic.
+        traffic = MemoryTraffic(dram_bytes=999, sram_bytes=1001, scratchpad_bytes=3)
+        scaled = traffic.scaled(1.0 / 3.0)
+        assert scaled.dram_bytes == 333
+        assert scaled.sram_bytes == 334   # 333.67 rounds up, not down
+        assert scaled.scratchpad_bytes == 1
+        up = MemoryTraffic(dram_bytes=7, sram_bytes=0, scratchpad_bytes=0).scaled(1.99)
+        assert up.dram_bytes == 14        # 13.93 -> 14, int() would give 13
+
+    def test_scaled_round_trip_error_is_bounded(self):
+        traffic = MemoryTraffic(dram_bytes=12345, sram_bytes=67891, scratchpad_bytes=11)
+        for factor in (0.1, 1.5, 3.1415):
+            scaled = traffic.scaled(factor)
+            assert abs(scaled.dram_bytes - traffic.dram_bytes * factor) <= 0.5
+            assert abs(scaled.sram_bytes - traffic.sram_bytes * factor) <= 0.5
+
     def test_bfloat16_traffic_is_half_of_fp32(self):
         operands = self._operands(sparsity=0.0)
         fp32 = TrafficCounter(value_bytes=4, compress_offchip=False)
