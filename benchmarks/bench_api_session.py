@@ -1,0 +1,137 @@
+"""Microbenchmark: warm API session vs cold per-call wiring.
+
+The point of the ``repro.api`` session layer is that everything expensive
+is shared across calls: one engine, one trace cache, one in-process
+result memo.  This benchmark quantifies that claim on a one-knob sweep
+workload submitted three times:
+
+* **cold** — PR 3-style wiring: a fresh :class:`Session` per call, so
+  every call retrains the workload and re-simulates every layer (exactly
+  what each CLI invocation used to cost);
+* **warm** — one long-lived session submitting the same request three
+  times, the way ``repro serve`` handles sequential clients.
+
+The run fails if the warm session does not simulate at least 2x fewer
+layers than the cold path, if any warm repeat simulates anything at all,
+or if the two paths disagree on the simulated metrics.  Results are
+printed as a table and emitted to ``BENCH_api.json`` at the repository
+root, extending the perf trajectory of ``BENCH_engine.json`` /
+``BENCH_dse.json`` / ``BENCH_memory.json``.
+
+Run directly::
+
+    PYTHONPATH=src:. python benchmarks/bench_api_session.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.common import print_header
+
+from repro.analysis.reporting import format_table
+from repro.api.schema import SweepRequest
+from repro.api.session import Session
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_api.json"
+
+#: The repeated request: a staging-depth sweep over the snli trace.
+PASSES = 3
+
+
+def _request() -> SweepRequest:
+    return SweepRequest(
+        model="snli", knob="staging", values=[2, 3],
+        epochs=1, batches_per_epoch=1, batch_size=4, max_groups=16,
+    )
+
+
+def _speedups(result) -> list:
+    return [point["metrics"]["speedup"] for point in result.result.study["points"]]
+
+
+def main() -> int:
+    print_header(
+        "API session: warm shared-engine serving vs cold per-call wiring",
+        "Session microbenchmark (no paper figure): the repro.api layer's "
+        "cross-request trace/result reuse",
+    )
+
+    # Cold: a fresh session per call — nothing survives between requests.
+    cold_layers = 0
+    cold_speedups = None
+    start = time.perf_counter()
+    for _ in range(PASSES):
+        session = Session()
+        result = session.submit(_request())
+        cold_layers += result.engine["layers_simulated"]
+        cold_speedups = _speedups(result)
+    cold_seconds = time.perf_counter() - start
+
+    # Warm: one session, three sequential requests (the serve pattern).
+    warm_layers = 0
+    warm_repeat_layers = 0
+    warm_speedups = None
+    session = Session()
+    start = time.perf_counter()
+    for index in range(PASSES):
+        result = session.submit(_request())
+        warm_layers += result.engine["layers_simulated"]
+        if index > 0:
+            warm_repeat_layers += result.engine["layers_simulated"]
+        warm_speedups = _speedups(result)
+    warm_seconds = time.perf_counter() - start
+
+    if warm_repeat_layers != 0:
+        raise AssertionError(
+            f"warm repeats re-simulated {warm_repeat_layers} layers; "
+            f"the session memo should have served them"
+        )
+    if warm_speedups != cold_speedups:
+        raise AssertionError("warm and cold sessions disagree on metrics")
+    if warm_layers * 2 > cold_layers:
+        raise AssertionError(
+            f"warm session simulated {warm_layers} layers vs {cold_layers} "
+            f"cold — expected at least 2x fewer"
+        )
+
+    reduction = cold_layers / warm_layers if warm_layers else float("inf")
+    rows = [
+        ["cold (fresh session per call)", PASSES, cold_layers, cold_seconds, 1.0],
+        ["warm (one shared session)", PASSES, warm_layers, warm_seconds,
+         cold_seconds / warm_seconds if warm_seconds else float("inf")],
+    ]
+    print(format_table(
+        f"snli staging sweep x{PASSES}: layers simulated and wall-clock",
+        ["wiring", "requests", "layers simulated", "seconds", "speedup"],
+        rows,
+    ))
+    print(f"Warm session simulates {reduction:.1f}x fewer layers "
+          f"(gate: >= 2x) and never retrains the workload.")
+
+    payload = {
+        "benchmark": "api_session",
+        "request": _request().to_dict(),
+        "passes": PASSES,
+        "cold": {
+            "layers_simulated": cold_layers,
+            "seconds": round(cold_seconds, 4),
+        },
+        "warm": {
+            "layers_simulated": warm_layers,
+            "repeat_layers_simulated": warm_repeat_layers,
+            "seconds": round(warm_seconds, 4),
+            "engine": session.engine.stats.as_dict(),
+        },
+        "layer_reduction": reduction,
+        "gate": "warm simulates >= 2x fewer layers than cold",
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nWrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,6 @@ environment variables steer it without touching any benchmark:
 
 from __future__ import annotations
 
-import os
 from functools import lru_cache
 from typing import Dict, List, Optional
 
@@ -43,12 +42,19 @@ DEFAULT_MAX_GROUPS = 48
 
 
 def engine_kwargs() -> Dict[str, object]:
-    """Engine configuration for every harness runner, from the environment."""
-    jobs = os.environ.get("REPRO_JOBS")
+    """Engine configuration for every harness runner, from the environment.
+
+    Resolution goes through :func:`repro.engine.resolve_engine_options` —
+    the same helper the CLI and :class:`repro.api.Session` use — so the
+    ``REPRO_*`` precedence can never drift between entry points.
+    """
+    from repro.engine.options import resolve_engine_options
+
+    options = resolve_engine_options()
     return {
-        "backend": os.environ.get("REPRO_BACKEND", "vectorized"),
-        "jobs": int(jobs) if jobs else None,
-        "cache_dir": os.environ.get("REPRO_CACHE_DIR") or None,
+        "backend": options.backend,
+        "jobs": options.jobs,
+        "cache_dir": options.cache_dir,
     }
 
 #: The models the headline per-model figures sweep (paper order).

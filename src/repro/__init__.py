@@ -47,13 +47,22 @@ Sparsity to Accelerate Deep Neural Network Training and Inference"
     accelerator knobs x workloads x sparsity scenarios, a resumable
     study runner on top of the engine, and Pareto-frontier reporting
     (the ``repro explore`` CLI subcommand).
+
+``repro.api``
+    The unified programmatic front door: versioned JSON-serialisable
+    request/result schema, the :class:`~repro.api.Session` facade that
+    keeps one engine and its caches warm across simulate / sweep /
+    explore / roofline calls, and the ``repro serve`` batch service.
+    The CLI subcommands are thin clients of this layer.
 """
 
+from repro._version import __version__
 from repro.core.config import AcceleratorConfig, PEConfig, TileConfig
 from repro.core.accelerator import Accelerator
 from repro.engine import SimulationEngine
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.simulation.runner import ExperimentRunner, simulate_model_training
+from repro.api.session import Session
 
 __all__ = [
     "AcceleratorConfig",
@@ -63,7 +72,7 @@ __all__ = [
     "SimulationEngine",
     "MemoryHierarchy",
     "ExperimentRunner",
+    "Session",
     "simulate_model_training",
+    "__version__",
 ]
-
-__version__ = "1.0.0"

@@ -1,0 +1,9 @@
+"""Single source of truth for the package version.
+
+Read by ``repro/__init__.py`` (``repro.__version__``), ``setup.py`` (which
+executes this file without importing the package, so packaging needs no
+numpy), the ``repro --version`` CLI flag and the ``/v1/health`` payload of
+``repro serve``.  Bump it here and nowhere else.
+"""
+
+__version__ = "1.1.0"

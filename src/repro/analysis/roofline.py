@@ -141,6 +141,9 @@ class RooflineReport:
                     "operation": point.operation,
                     "macs": point.macs,
                     "dram_bytes": point.dram_bytes,
+                    "compute_cycles": point.compute_cycles,
+                    "total_cycles": point.total_cycles,
+                    "stall_cycles": point.stall_cycles,
                     "intensity": point.intensity,
                     "achieved_macs_per_cycle": point.achieved_macs_per_cycle,
                     "stall_fraction": point.stall_fraction,
@@ -149,6 +152,37 @@ class RooflineReport:
                 for point in self.points
             ],
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RooflineReport":
+        """Rebuild a report from an :meth:`as_dict` document.
+
+        Derived quantities (intensity, achieved throughput, stall
+        fraction, layer bounds) are recomputed from the stored raw
+        counts, so a round-tripped report renders identically.  This is
+        what lets API clients and the CLI format a roofline from the
+        serialised :class:`repro.api.RooflineResult` payload.
+        """
+        points = [
+            RooflinePoint(
+                layer=str(point["layer"]),
+                operation=str(point["operation"]),
+                macs=int(point["macs"]),
+                dram_bytes=int(point["dram_bytes"]),
+                compute_cycles=int(point.get("compute_cycles", 0)),
+                total_cycles=int(point.get("total_cycles", 0)),
+                stall_cycles=int(point.get("stall_cycles", 0)),
+                bound=str(point["bound"]),
+            )
+            for point in payload.get("points", [])
+        ]
+        dram_bpc = payload.get("dram_bytes_per_cycle")
+        return cls(
+            model_name=str(payload.get("model", "model")),
+            peak_macs_per_cycle=float(payload["peak_macs_per_cycle"]),
+            dram_bytes_per_cycle=float(dram_bpc) if dram_bpc is not None else None,
+            points=points,
+        )
 
 
 def roofline_report(result, config) -> RooflineReport:

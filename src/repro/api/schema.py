@@ -1,0 +1,538 @@
+"""Versioned, JSON-serialisable request/result schema for ``repro.api``.
+
+Every workflow the repository supports — simulate, roofline, sweep,
+explore — is described by one request dataclass and answered with one
+result dataclass wrapped in an :class:`ApiResult` envelope.  All types
+share the same contract:
+
+* ``to_dict()`` produces a plain-JSON document (lists, dicts, scalars)
+  tagged with ``kind`` and ``schema_version`` where the type is
+  polymorphic;
+* ``from_dict()`` validates eagerly and raises :class:`SchemaError`
+  naming the offending field (``"SimulateRequest.epochs: ..."``) — never
+  a bare ``KeyError`` or ``TypeError``;
+* ``from_dict(to_dict(x)) == x`` round-trips exactly, including through
+  ``json.dumps``/``json.loads``.
+
+The schema is the wire format of the ``repro serve`` batch service and
+the argument format of :meth:`repro.api.Session.submit`; the CLI builds
+these requests from its flags, so every entry point speaks one language.
+``SCHEMA_VERSION`` is bumped on breaking changes; documents from newer
+majors are rejected with a clear error instead of being misread.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, List, Optional
+
+#: Version of the request/result wire format.  Incremented on breaking
+#: changes; ``from_dict`` rejects documents from newer versions.
+SCHEMA_VERSION = 1
+
+#: Datatypes the PE model supports (mirrors the CLI choices).
+DATATYPES = ("fp32", "bfloat16")
+
+
+class SchemaError(ValueError):
+    """An invalid request/result document.  Always names the bad field."""
+
+    def __init__(self, field_name: str, message: str):
+        self.field = field_name
+        super().__init__(f"{field_name}: {message}")
+
+
+# ----------------------------------------------------------------------
+# validation helpers
+
+def _plain(value: Any) -> Any:
+    """Copy ``value`` into plain-JSON shape (tuples -> lists, dict copies)."""
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    return value
+
+
+def _check_int(owner: str, name: str, value: Any, minimum: int = 1) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SchemaError(f"{owner}.{name}", f"expected an integer, got {value!r}")
+    if value < minimum:
+        raise SchemaError(f"{owner}.{name}", f"must be >= {minimum}, got {value}")
+
+
+def _check_optional_number(
+    owner: str, name: str, value: Any, minimum: float = 0.0
+) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaError(f"{owner}.{name}", f"expected a number, got {value!r}")
+    if value <= minimum:
+        raise SchemaError(f"{owner}.{name}", f"must be > {minimum:g}, got {value}")
+
+
+def _check_str(owner: str, name: str, value: Any) -> None:
+    if not isinstance(value, str) or not value:
+        raise SchemaError(f"{owner}.{name}", f"expected a non-empty string, got {value!r}")
+
+
+def _check_model(owner: str, value: Any) -> None:
+    _check_str(owner, "model", value)
+    from repro.models.registry import available_models
+
+    if value not in available_models():
+        raise SchemaError(
+            f"{owner}.model",
+            f"unknown workload {value!r}; known: {available_models()}",
+        )
+
+
+def _check_number_map(owner: str, name: str, value: Any) -> None:
+    if not isinstance(value, dict):
+        raise SchemaError(f"{owner}.{name}", f"expected an object, got {value!r}")
+    for key, item in value.items():
+        if not isinstance(key, str):
+            raise SchemaError(f"{owner}.{name}", f"non-string key {key!r}")
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise SchemaError(
+                f"{owner}.{name}", f"value for {key!r} is not a number: {item!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# shared (de)serialisation machinery
+
+@dataclass
+class _ApiModel:
+    """Base for every schema type: dict round-trip + eager validation."""
+
+    #: Wire tag for polymorphic dispatch; ``None`` for context-typed models.
+    kind: ClassVar[Optional[str]] = None
+
+    def validate(self) -> None:   # pragma: no cover - overridden
+        """Raise :class:`SchemaError` on the first invalid field."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON document; ``from_dict`` round-trips it exactly."""
+        payload: Dict[str, Any] = {}
+        if self.kind is not None:
+            payload["kind"] = self.kind
+            payload["schema_version"] = SCHEMA_VERSION
+        for spec in dataclasses.fields(self):
+            payload[spec.name] = _plain(getattr(self, spec.name))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "_ApiModel":
+        """Build and validate an instance from a plain dict."""
+        name = cls.__name__
+        if not isinstance(payload, dict):
+            raise SchemaError(name, f"expected a JSON object, got {type(payload).__name__}")
+        payload = dict(payload)
+        kind = payload.pop("kind", None)
+        if kind is not None and cls.kind is not None and kind != cls.kind:
+            raise SchemaError(f"{name}.kind", f"expected {cls.kind!r}, got {kind!r}")
+        version = payload.pop("schema_version", SCHEMA_VERSION)
+        if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+            raise SchemaError(f"{name}.schema_version", f"invalid version {version!r}")
+        if version > SCHEMA_VERSION:
+            raise SchemaError(
+                f"{name}.schema_version",
+                f"document version {version} is newer than this library "
+                f"supports (schema {SCHEMA_VERSION}); upgrade repro",
+            )
+        specs = {spec.name: spec for spec in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - set(specs))
+        if unknown:
+            raise SchemaError(
+                f"{name}.{unknown[0]}",
+                f"unknown field (known fields: {sorted(specs)})",
+            )
+        for field_name, spec in specs.items():
+            required = (
+                spec.default is dataclasses.MISSING
+                and spec.default_factory is dataclasses.MISSING
+            )
+            if required and field_name not in payload:
+                raise SchemaError(f"{name}.{field_name}", "required field is missing")
+        # Construction validates via __post_init__; no second pass needed.
+        return cls(**payload)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+
+# ----------------------------------------------------------------------
+# requests
+
+@dataclass
+class SimulateRequest(_ApiModel):
+    """Train one workload briefly, trace it, simulate baseline vs TensorDash."""
+
+    kind: ClassVar[str] = "simulate"
+
+    model: str
+    epochs: int = 2
+    batches_per_epoch: int = 2
+    batch_size: int = 8
+    max_groups: int = 64
+    datatype: str = "fp32"
+    #: ``None`` means "use the session's default seed".
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_model(owner, self.model)
+        for name in ("epochs", "batches_per_epoch", "batch_size", "max_groups"):
+            _check_int(owner, name, getattr(self, name))
+        if self.datatype not in DATATYPES:
+            raise SchemaError(
+                f"{owner}.datatype",
+                f"expected one of {list(DATATYPES)}, got {self.datatype!r}",
+            )
+        if self.seed is not None:
+            _check_int(owner, "seed", self.seed, minimum=-(2 ** 31))
+
+
+@dataclass
+class RooflineRequest(SimulateRequest):
+    """Simulate under a finite memory hierarchy and report the roofline.
+
+    ``dram_bandwidth_gbps`` defaults (at execution time) to the Table 2
+    machine's peak; ``sram_bandwidth_gbps`` and ``sram_kb`` default to
+    unlimited, matching the CLI flags.
+    """
+
+    kind: ClassVar[str] = "roofline"
+
+    dram_bandwidth_gbps: Optional[float] = None
+    sram_bandwidth_gbps: Optional[float] = None
+    sram_kb: Optional[int] = None
+
+    def validate(self) -> None:
+        super().validate()
+        owner = type(self).__name__
+        _check_optional_number(owner, "dram_bandwidth_gbps", self.dram_bandwidth_gbps)
+        _check_optional_number(owner, "sram_bandwidth_gbps", self.sram_bandwidth_gbps)
+        if self.sram_kb is not None:
+            _check_int(owner, "sram_kb", self.sram_kb)
+
+
+@dataclass
+class SweepRequest(_ApiModel):
+    """Re-simulate one workload across a one-knob configuration sweep."""
+
+    kind: ClassVar[str] = "sweep"
+
+    model: str
+    knob: str = "rows"
+    values: List[Any] = field(default_factory=lambda: [1, 4, 8, 16])
+    epochs: int = 2
+    batches_per_epoch: int = 2
+    batch_size: int = 8
+    max_groups: int = 48
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_model(owner, self.model)
+        from repro.core.config import AcceleratorConfig
+        from repro.explore.spec import KNOBS
+
+        if self.knob not in KNOBS:
+            raise SchemaError(
+                f"{owner}.knob", f"unknown knob {self.knob!r}; known: {sorted(KNOBS)}"
+            )
+        if not isinstance(self.values, (list, tuple)) or not self.values:
+            raise SchemaError(
+                f"{owner}.values",
+                f"expected a non-empty list of knob values, got {self.values!r}",
+            )
+        self.values = list(self.values)
+        for value in self.values:
+            try:
+                KNOBS[self.knob](AcceleratorConfig(), value)
+            except (ValueError, TypeError, KeyError) as exc:
+                raise SchemaError(
+                    f"{owner}.values", f"invalid value {value!r} for knob "
+                    f"{self.knob!r}: {exc}"
+                ) from exc
+        for name in ("epochs", "batches_per_epoch", "batch_size", "max_groups"):
+            _check_int(owner, name, getattr(self, name))
+        if self.seed is not None:
+            _check_int(owner, "seed", self.seed, minimum=-(2 ** 31))
+
+
+@dataclass
+class ExploreRequest(_ApiModel):
+    """Run a declarative design-space study from an embedded spec."""
+
+    kind: ClassVar[str] = "explore"
+
+    #: A :class:`repro.explore.StudySpec` document (``StudySpec.to_dict``).
+    spec: Dict[str, Any]
+    study_dir: Optional[str] = None
+    resume: bool = False
+    #: Random-sample N points instead of the full cartesian product.
+    sample: Optional[int] = None
+    #: Overrides the spec's seed when given.
+    seed: Optional[int] = None
+    #: Frontier objectives overriding the spec's, e.g. ``["speedup"]``.
+    objectives: Optional[List[str]] = None
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        if not isinstance(self.spec, dict):
+            raise SchemaError(
+                f"{owner}.spec", f"expected a StudySpec object, got {self.spec!r}"
+            )
+        if self.study_dir is not None:
+            _check_str(owner, "study_dir", self.study_dir)
+        if not isinstance(self.resume, bool):
+            raise SchemaError(f"{owner}.resume", f"expected a boolean, got {self.resume!r}")
+        if self.sample is not None:
+            _check_int(owner, "sample", self.sample)
+        if self.seed is not None:
+            _check_int(owner, "seed", self.seed, minimum=-(2 ** 31))
+        if self.objectives is not None:
+            if not isinstance(self.objectives, (list, tuple)) or not self.objectives:
+                raise SchemaError(
+                    f"{owner}.objectives",
+                    f"expected a non-empty list of metric names, got {self.objectives!r}",
+                )
+            self.objectives = [str(name) for name in self.objectives]
+            from repro.explore.spec import parse_objectives
+
+            try:
+                parse_objectives(self.objectives)
+            except ValueError as exc:
+                raise SchemaError(f"{owner}.objectives", str(exc)) from exc
+        # Validate the spec itself (and that any overrides compose with
+        # it) before any training starts.
+        self.resolved_spec()
+
+    def resolved_spec(self):
+        """The validated :class:`StudySpec` with sample/seed overrides applied."""
+        from repro.explore.spec import StudySpec
+
+        owner = type(self).__name__
+        try:
+            spec = StudySpec.from_dict(self.spec)
+            if self.sample is not None:
+                spec.mode = "random"
+                spec.sample = self.sample
+            if self.seed is not None:
+                spec.seed = self.seed
+            spec.validate()
+        except ValueError as exc:
+            raise SchemaError(f"{owner}.spec", str(exc)) from exc
+        return spec
+
+
+#: Request types by wire tag, the dispatch table of :func:`request_from_dict`.
+REQUEST_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (SimulateRequest, RooflineRequest, SweepRequest, ExploreRequest)
+}
+
+
+def request_from_dict(payload: Any) -> _ApiModel:
+    """Parse any request document, dispatching on its ``kind`` tag."""
+    if not isinstance(payload, dict):
+        raise SchemaError("request", f"expected a JSON object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind is None:
+        raise SchemaError(
+            "request.kind",
+            f"required field is missing (one of {sorted(REQUEST_TYPES)})",
+        )
+    request_type = REQUEST_TYPES.get(kind)
+    if request_type is None:
+        raise SchemaError(
+            "request.kind", f"unknown kind {kind!r}; known: {sorted(REQUEST_TYPES)}"
+        )
+    return request_type.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# results
+
+@dataclass
+class SimulateResult(_ApiModel):
+    """Per-operation speedups and energy efficiency of one simulate run."""
+
+    model: str
+    config: str
+    potentials: Dict[str, float] = field(default_factory=dict)
+    speedups: Dict[str, float] = field(default_factory=dict)
+    core_energy_efficiency: float = 1.0
+    overall_energy_efficiency: float = 1.0
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_str(owner, "model", self.model)
+        _check_str(owner, "config", self.config)
+        _check_number_map(owner, "potentials", self.potentials)
+        _check_number_map(owner, "speedups", self.speedups)
+        for name in ("core_energy_efficiency", "overall_energy_efficiency"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"{owner}.{name}", f"expected a number, got {value!r}")
+
+
+@dataclass
+class RooflineResult(_ApiModel):
+    """Roofline placement plus stall/bound summary of one run."""
+
+    model: str
+    config: str
+    #: A :meth:`repro.analysis.roofline.RooflineReport.as_dict` document.
+    roofline: Dict[str, Any] = field(default_factory=dict)
+    memory_bound_operations: int = 0
+    total_operations: int = 0
+    stall_fraction: float = 0.0
+    speedup: float = 1.0
+    compute_speedup: float = 1.0
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_str(owner, "model", self.model)
+        _check_str(owner, "config", self.config)
+        if not isinstance(self.roofline, dict):
+            raise SchemaError(
+                f"{owner}.roofline", f"expected an object, got {self.roofline!r}"
+            )
+        for name in ("memory_bound_operations", "total_operations"):
+            _check_int(owner, name, getattr(self, name), minimum=0)
+        for name in ("stall_fraction", "speedup", "compute_speedup"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"{owner}.{name}", f"expected a number, got {value!r}")
+
+
+@dataclass
+class SweepResult(_ApiModel):
+    """One-knob sweep outcome: the underlying study document plus labels."""
+
+    model: str
+    knob: str
+    values: List[Any] = field(default_factory=list)
+    #: A :func:`repro.explore.report.study_to_dict` document.
+    study: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_str(owner, "model", self.model)
+        _check_str(owner, "knob", self.knob)
+        if not isinstance(self.values, (list, tuple)):
+            raise SchemaError(f"{owner}.values", f"expected a list, got {self.values!r}")
+        self.values = list(self.values)
+        if not isinstance(self.study, dict):
+            raise SchemaError(f"{owner}.study", f"expected an object, got {self.study!r}")
+
+
+@dataclass
+class ExploreResult(_ApiModel):
+    """Design-space study outcome: the full study document."""
+
+    #: A :func:`repro.explore.report.study_to_dict` document.
+    study: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        if not isinstance(self.study, dict):
+            raise SchemaError(f"{owner}.study", f"expected an object, got {self.study!r}")
+
+
+#: Result type for each request kind (the envelope's ``result`` payload).
+RESULT_TYPES: Dict[str, type] = {
+    "simulate": SimulateResult,
+    "roofline": RooflineResult,
+    "sweep": SweepResult,
+    "explore": ExploreResult,
+}
+
+
+@dataclass
+class ApiResult(_ApiModel):
+    """Envelope around every result: kind, schema version, timing, engine.
+
+    ``engine`` is the per-request :class:`~repro.engine.EngineStats`
+    delta (what this request cost, even on a shared long-lived engine);
+    ``elapsed_seconds`` the wall-clock spent inside the session.
+    """
+
+    kind: str = "simulate"
+    result: Any = None
+    engine: Dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        if self.kind not in RESULT_TYPES:
+            raise SchemaError(
+                f"{owner}.kind", f"unknown kind {self.kind!r}; known: {sorted(RESULT_TYPES)}"
+            )
+        expected = RESULT_TYPES[self.kind]
+        if not isinstance(self.result, expected):
+            raise SchemaError(
+                f"{owner}.result",
+                f"expected a {expected.__name__} for kind {self.kind!r}, "
+                f"got {type(self.result).__name__}",
+            )
+        if not isinstance(self.engine, dict):
+            raise SchemaError(f"{owner}.engine", f"expected an object, got {self.engine!r}")
+        if isinstance(self.elapsed_seconds, bool) or not isinstance(
+            self.elapsed_seconds, (int, float)
+        ):
+            raise SchemaError(
+                f"{owner}.elapsed_seconds",
+                f"expected a number, got {self.elapsed_seconds!r}",
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "schema_version": SCHEMA_VERSION,
+            "elapsed_seconds": self.elapsed_seconds,
+            "engine": _plain(self.engine),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "ApiResult":
+        name = cls.__name__
+        if not isinstance(payload, dict):
+            raise SchemaError(name, f"expected a JSON object, got {type(payload).__name__}")
+        payload = dict(payload)
+        version = payload.pop("schema_version", SCHEMA_VERSION)
+        if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+            raise SchemaError(f"{name}.schema_version", f"invalid version {version!r}")
+        if version > SCHEMA_VERSION:
+            raise SchemaError(
+                f"{name}.schema_version",
+                f"document version {version} is newer than this library "
+                f"supports (schema {SCHEMA_VERSION}); upgrade repro",
+            )
+        kind = payload.get("kind")
+        result_type = RESULT_TYPES.get(kind)
+        if result_type is None:
+            raise SchemaError(
+                f"{name}.kind", f"unknown kind {kind!r}; known: {sorted(RESULT_TYPES)}"
+            )
+        if "result" not in payload:
+            raise SchemaError(f"{name}.result", "required field is missing")
+        unknown = sorted(set(payload) - {"kind", "result", "engine", "elapsed_seconds"})
+        if unknown:
+            raise SchemaError(f"{name}.{unknown[0]}", "unknown field")
+        engine = payload.get("engine") or {}
+        if not isinstance(engine, dict):
+            raise SchemaError(f"{name}.engine", f"expected an object, got {engine!r}")
+        return cls(
+            kind=kind,
+            result=result_type.from_dict(payload["result"]),
+            engine=dict(engine),
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+        )

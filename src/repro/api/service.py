@@ -1,0 +1,246 @@
+"""``repro serve``: a batch simulation service over one shared session.
+
+A deliberately small HTTP layer — stdlib :mod:`http.server` only, no new
+dependencies — that exposes the :class:`~repro.api.Session` facade to
+concurrent clients:
+
+* ``POST /v1/simulate`` / ``/v1/roofline`` / ``/v1/sweep`` /
+  ``/v1/explore`` — body is the matching request document from
+  :mod:`repro.api.schema` (the ``kind`` tag may be omitted; the path
+  implies it).  Responds with the :class:`~repro.api.schema.ApiResult`
+  envelope as JSON.
+* ``GET /v1/health`` — liveness: package version, schema version,
+  endpoints and registered workloads.
+* ``GET /v1/stats`` — session counters: requests served, cached
+  traces/runners, engine backend and cache hit/miss totals.
+
+Requests are served by a :class:`~http.server.ThreadingHTTPServer`; the
+session serialises simulation under its lock, so many clients safely
+share one engine — the second client POSTing a workload the first already
+ran gets pure cache hits, visible both in its own envelope's ``engine``
+delta and in ``/v1/stats``.
+
+Invalid documents return ``400`` with ``{"error": ..., "field": ...}``
+naming the offending field; unknown paths return ``404`` listing the
+routes.  Unexpected faults return ``500`` with the exception text.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+from urllib.parse import urlsplit
+
+from repro._version import __version__
+from repro.api.schema import (
+    SCHEMA_VERSION,
+    REQUEST_TYPES,
+    ExploreRequest,
+    SchemaError,
+    request_from_dict,
+)
+from repro.api.session import Session
+
+#: POST routes: URL path -> request kind.
+POST_ROUTES: Dict[str, str] = {
+    f"/v1/{kind}": kind for kind in sorted(REQUEST_TYPES)
+}
+
+#: Every route the service answers, for health payloads and 404 bodies.
+ENDPOINTS = tuple(sorted(POST_ROUTES)) + ("/v1/health", "/v1/stats")
+
+#: Request bodies above this size are rejected (a spec document is KBs).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ApiRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/v1/*`` traffic into the server's shared session."""
+
+    server_version = f"repro/{__version__}"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout: a client declaring a Content-Length it never sends
+    #: parks this thread for at most this long, not forever.
+    timeout = 120
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:   # noqa: A002
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload, indent=2).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Tuple[Optional[Dict], Optional[str]]:
+        """The parsed JSON body, or ``(None, error message)``."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None, "invalid Content-Length header"
+        if length <= 0:
+            return None, "request body required (a JSON request document)"
+        if length > MAX_BODY_BYTES:
+            return None, f"request body exceeds {MAX_BODY_BYTES} bytes"
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            return None, f"invalid JSON body: {exc}"
+        if not isinstance(payload, dict):
+            return None, f"request body must be a JSON object, got {type(payload).__name__}"
+        return payload, None
+
+    def _check_study_dir(self, request) -> Optional[str]:
+        """Why a client-supplied ``study_dir`` is unacceptable, or ``None``.
+
+        ``study_dir`` makes the server create directories and write
+        manifest/cache files wherever the path points, so over HTTP it is
+        only honoured inside the operator-chosen ``--study-root``; with
+        no root configured, requests carrying a ``study_dir`` are
+        refused outright.
+        """
+        if not isinstance(request, ExploreRequest) or not request.study_dir:
+            return None
+        root = getattr(self.server, "study_root", None)
+        if root is None:
+            return ("study_dir is disabled on this server; start it with "
+                    "--study-root DIR to allow study directories under DIR")
+        requested = Path(request.study_dir)
+        if not requested.is_absolute():
+            requested = root / requested
+        resolved = requested.resolve()
+        if resolved != root and root not in resolved.parents:
+            return f"study_dir must resolve under the server's study root {root}"
+        request.study_dir = str(resolved)
+        return None
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:   # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        if path == "/v1/health":
+            from repro.models.registry import available_models
+
+            self._send_json(200, {
+                "status": "ok",
+                "version": __version__,
+                "schema_version": SCHEMA_VERSION,
+                "endpoints": list(ENDPOINTS),
+                "models": available_models(),
+            })
+        elif path == "/v1/stats":
+            self._send_json(200, self.server.session.stats())
+        else:
+            self._send_json(404, {
+                "error": f"unknown path {path!r}",
+                "endpoints": list(ENDPOINTS),
+            })
+
+    def do_POST(self) -> None:   # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        kind = POST_ROUTES.get(path)
+        if kind is None:
+            self._send_json(404, {
+                "error": f"unknown path {path!r}",
+                "endpoints": list(ENDPOINTS),
+            })
+            return
+        payload, problem = self._read_body()
+        if problem is not None:
+            # The body may be partly or wholly unread; on a keep-alive
+            # connection its bytes would be parsed as the next request
+            # line, so drop the connection after answering.
+            self.close_connection = True
+            self._send_json(400, {"error": problem})
+            return
+        payload.setdefault("kind", kind)
+        if payload["kind"] != kind:
+            self._send_json(400, {
+                "error": f"request kind {payload['kind']!r} does not match "
+                         f"endpoint {path!r}",
+                "field": "kind",
+            })
+            return
+        try:
+            request = request_from_dict(payload)
+        except SchemaError as exc:
+            self._send_json(400, {"error": str(exc), "field": exc.field})
+            return
+        problem = self._check_study_dir(request)
+        if problem is not None:
+            self._send_json(403, {"error": problem, "field": "study_dir"})
+            return
+        try:
+            result = self.server.session.submit(request)
+        except SchemaError as exc:
+            self._send_json(400, {"error": str(exc), "field": exc.field})
+            return
+        except Exception as exc:   # noqa: BLE001 - keep the server alive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._send_json(200, result.to_dict())
+
+
+class ApiServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one shared :class:`Session`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address,
+        session: Session,
+        quiet: bool = False,
+        study_root: Optional[Union[str, Path]] = None,
+    ):
+        super().__init__(address, ApiRequestHandler)
+        self.session = session
+        self.quiet = quiet
+        #: Directory client-supplied explore ``study_dir`` paths must
+        #: resolve under; ``None`` refuses them entirely.
+        self.study_root = Path(study_root).resolve() if study_root else None
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    session: Optional[Session] = None,
+    quiet: bool = False,
+    study_root: Optional[Union[str, Path]] = None,
+) -> ApiServer:
+    """Build (but do not start) the batch service.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address``; tests use this to avoid collisions.
+    """
+    return ApiServer(
+        (host, port), session or Session(), quiet=quiet, study_root=study_root
+    )
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    session: Optional[Session] = None,
+    quiet: bool = False,
+    study_root: Optional[Union[str, Path]] = None,
+) -> int:
+    """Run the service until interrupted (the ``repro serve`` entry point)."""
+    server = create_server(
+        host=host, port=port, session=session, quiet=quiet, study_root=study_root
+    )
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro {__version__} serving on http://{bound_host}:{bound_port}  "
+          f"(POST {', '.join(sorted(POST_ROUTES))}; GET /v1/health, /v1/stats)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0

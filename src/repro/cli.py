@@ -1,6 +1,11 @@
 """Command-line interface for the TensorDash reproduction.
 
-Five subcommands cover the common workflows without writing any Python:
+Every subcommand is a thin client of the unified programmatic API
+(:mod:`repro.api`): it builds a typed request, submits it to a
+:class:`~repro.api.Session` — which owns the one simulation engine, the
+trace cache and the result memo — and formats the returned
+:class:`~repro.api.schema.ApiResult`.  The same requests can be POSTed as
+JSON to a running ``repro serve``.
 
 ``list-models``
     Show the registered workloads (the paper's model list).
@@ -8,6 +13,7 @@ Five subcommands cover the common workflows without writing any Python:
 ``simulate``
     Train one workload briefly, trace it and report TensorDash's
     per-operation speedups, potential speedups and energy efficiency.
+    ``--format json`` emits the full result envelope instead.
 
 ``roofline``
     Simulate one workload under a *finite* memory hierarchy (Table 2's
@@ -15,13 +21,11 @@ Five subcommands cover the common workflows without writing any Python:
     ``--sram-kb`` overrides) and print the roofline: per-layer
     operational intensity, attainable vs achieved throughput, stall
     fractions and compute/memory-bound verdicts, plus the speedup with
-    and without memory stalls.
+    and without memory stalls.  ``--format json`` supported.
 
 ``sweep``
     Re-simulate one traced workload across a one-knob configuration
-    sweep.  A thin alias over ``explore``: it builds a single-knob
-    :class:`~repro.explore.StudySpec` and runs it through the same
-    study machinery.
+    sweep (a one-knob ``explore`` study under the hood).
 
 ``explore``
     Run a declarative design-space study from a JSON spec: accelerator
@@ -29,69 +33,83 @@ Five subcommands cover the common workflows without writing any Python:
     analysis over (speedup, energy efficiency, area overhead) and a
     resumable on-disk manifest (``--study-dir`` + ``--resume``).
 
+``serve``
+    Start the batch simulation service: concurrent clients POST request
+    documents to ``/v1/simulate`` etc. and share one warm session, so a
+    workload any client already ran returns as pure cache hits.
+
 Every simulating subcommand executes through the pluggable simulation
 engine (:mod:`repro.engine`): ``--backend`` selects the execution strategy
 (``reference`` oracle loop, numpy ``vectorized`` fast path, or a
 ``parallel`` multiprocessing pool sized by ``--jobs``), all of which are
 bit-identical; ``--cache-dir`` enables the on-disk result cache so
 repeated runs, sweeps and resumed studies skip already-simulated layers.
-Cache entries are content-addressed by (accelerator-config hash,
-layer-trace hash, backend name): changing any configuration knob, the
-traced operands (e.g. via ``--seed`` or ``--epochs``) or the backend
-simply produces new keys, so stale results are never returned — old
-entries are inert files and the cache directory can be deleted at any
-time to reclaim space.
+Unset flags fall back to the ``REPRO_BACKEND`` / ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` environment variables (one shared resolution helper,
+:func:`repro.engine.resolve_engine_options`).  Cache entries are
+content-addressed by (accelerator-config hash, layer-trace hash, backend
+name): changing any configuration knob, the traced operands (e.g. via
+``--seed`` or ``--epochs``) or the backend simply produces new keys, so
+stale results are never returned — old entries are inert files and the
+cache directory can be deleted at any time to reclaim space.
 
 Examples
 --------
 ::
 
+    python -m repro --version
     python -m repro list-models
     python -m repro simulate alexnet --epochs 2
     python -m repro simulate vgg16 --backend parallel --jobs 8
+    python -m repro simulate snli --format json
     python -m repro roofline snli --dram-bandwidth-gbps 4
     python -m repro sweep snli --knob dram_bandwidth_gbps --values 4,12.8,51.2
     python -m repro sweep squeezenet --knob rows --values 1,4,16 \\
         --cache-dir ~/.cache/repro   # second run: zero re-simulations
     python -m repro explore examples/specs/dse_small.json \\
         --study-dir /tmp/study       # kill it, then add --resume
+    python -m repro serve --port 8000
+    curl -X POST http://127.0.0.1:8000/v1/simulate \\
+        -d '{"model": "snli", "epochs": 1}'
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from pathlib import Path
 from typing import List, Optional
 
+from repro._version import __version__
 from repro.analysis.reporting import format_engine_stats, format_table
-from repro.core.config import AcceleratorConfig
 from repro.engine import available_backends
 from repro.explore.spec import KNOBS
-from repro.models.registry import MODEL_REGISTRY, available_models, trace_workload
-from repro.simulation.runner import ExperimentRunner
+from repro.models.registry import MODEL_REGISTRY, available_models
 
 
 def _add_engine_arguments(
     command: argparse.ArgumentParser, seed_default: Optional[int] = 0
 ) -> None:
-    """Engine flags shared by ``simulate``, ``sweep`` and ``explore``."""
+    """Engine flags shared by every simulating subcommand."""
     command.add_argument(
-        "--backend", choices=available_backends(), default="vectorized",
+        "--backend", choices=available_backends(), default=None,
         help="execution strategy: 'reference' is the readable bit-exact "
              "oracle, 'vectorized' batches all work groups through numpy, "
              "'parallel' shards traced layers across worker processes; "
-             "all three produce identical results (default: vectorized)")
+             "all three produce identical results "
+             "(default: $REPRO_BACKEND, else vectorized)")
     command.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for --backend parallel "
-             "(default: CPU count, capped at 8)")
+             "(default: $REPRO_JOBS, else CPU count capped at 8)")
     command.add_argument(
         "--cache-dir", default=None,
         help="directory for the on-disk result cache; layers already "
              "simulated under the same (config, trace, backend) key are "
              "loaded instead of re-simulated.  Keys are content hashes, so "
              "changing the config, seed/trace or backend invalidates "
-             "entries automatically; delete the directory to reclaim space")
+             "entries automatically; delete the directory to reclaim space "
+             "(default: $REPRO_CACHE_DIR, else disabled)")
     if seed_default is None:
         seed_help = ("model/dataset seed; overrides the spec's 'seed' field "
                      "when given (default: use the spec's seed)")
@@ -107,6 +125,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="TensorDash (MICRO 2020) reproduction command-line interface",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list-models", help="list the registered workloads")
@@ -121,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--max-groups", type=int, default=64,
                           help="work groups sampled per layer per operation")
     simulate.add_argument("--datatype", choices=("fp32", "bfloat16"), default="fp32")
+    simulate.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format: human-readable tables, or the JSON result "
+             "envelope the programmatic API returns (default: table)")
     _add_engine_arguments(simulate)
 
     roofline = subparsers.add_parser(
@@ -148,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--sram-kb", type=int, default=None,
         help="total on-chip capacity in KB; working sets that overflow it "
              "are re-fetched from DRAM (default: unlimited)")
+    roofline.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format: human-readable tables, or the JSON result "
+             "envelope the programmatic API returns (default: table)")
     _add_engine_arguments(roofline)
 
     sweep = subparsers.add_parser(
@@ -192,11 +221,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="write the report to this file instead of stdout")
     _add_engine_arguments(explore, seed_default=None)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="start the batch simulation service: POST request JSON to "
+             "/v1/simulate|roofline|sweep|explore; concurrent clients "
+             "share one warm engine cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port to listen on; 0 picks a free port "
+                            "(default: 8000)")
+    serve.add_argument("--study-root", default=None,
+                       help="directory under which POSTed explore requests "
+                            "may place their study_dir; without it, "
+                            "client-supplied study_dir paths are refused "
+                            "(they create directories and write files)")
+    _add_engine_arguments(serve)
     return parser
 
 
 class CliError(Exception):
     """A user-input problem reported as a usage error (no traceback)."""
+
+
+def _session_for(args: argparse.Namespace):
+    """The one :class:`Session` a CLI invocation drives (env fallbacks in)."""
+    from repro.api.session import Session
+
+    return Session(
+        backend=args.backend,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        seed=getattr(args, "seed", None) or 0,
+    )
+
+
+def _engine_line(result) -> str:
+    """The ``engine: ...`` stats line for one result envelope."""
+    from repro.engine.engine import EngineStats
+
+    return format_engine_stats(EngineStats.from_dict(result.engine))
 
 
 def _command_list_models() -> int:
@@ -209,21 +275,21 @@ def _command_list_models() -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    config = AcceleratorConfig().with_pe(datatype=args.datatype)
-    print(f"Accelerator: {config.describe()}")
-    print(f"Training {args.model} for {args.epochs} epoch(s)...")
-    trace = trace_workload(args.model, epochs=args.epochs,
-                           batches_per_epoch=args.batches_per_epoch,
-                           batch_size=args.batch_size, seed=args.seed)
-    runner = ExperimentRunner(
-        config, max_groups=args.max_groups,
-        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
+    from repro.api.schema import SimulateRequest
+
+    request = SimulateRequest(
+        model=args.model, epochs=args.epochs,
+        batches_per_epoch=args.batches_per_epoch, batch_size=args.batch_size,
+        max_groups=args.max_groups, datatype=args.datatype, seed=args.seed,
     )
-    result = runner.run_final_epoch(trace)
-    potentials = ExperimentRunner.potential_speedups_from_trace(trace.final_epoch())
-    speedups = result.per_operation_speedups()
+    quiet = args.format == "json"
+    result = _session_for(args).submit(request, progress=None if quiet else print)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    payload = result.result
     rows = [
-        [op, potentials.get(op, float("nan")), speedups[op]]
+        [op, payload.potentials.get(op, float("nan")), payload.speedups[op]]
         for op in ("AxW", "AxG", "WxG", "Total")
     ]
     print(format_table(
@@ -231,54 +297,37 @@ def _command_simulate(args: argparse.Namespace) -> int:
         ["operation", "potential", "speedup"],
         rows,
     ))
-    report = runner.energy_report(result)
-    print(f"Core energy efficiency:    {report.core_efficiency:.3f}x")
-    print(f"Overall energy efficiency: {report.overall_efficiency:.3f}x")
-    print(format_engine_stats(runner.engine_stats))
+    print(f"Core energy efficiency:    {payload.core_energy_efficiency:.3f}x")
+    print(f"Overall energy efficiency: {payload.overall_energy_efficiency:.3f}x")
+    print(_engine_line(result))
     return 0
 
 
 def _command_roofline(args: argparse.Namespace) -> int:
-    from repro.analysis.roofline import format_roofline_report, roofline_report
+    from repro.analysis.roofline import RooflineReport, format_roofline_report
+    from repro.api.schema import RooflineRequest
 
-    config = AcceleratorConfig().with_pe(datatype=args.datatype)
-    dram_bandwidth = args.dram_bandwidth_gbps
-    if dram_bandwidth is None:
-        dram_bandwidth = config.memory.peak_dram_bandwidth_gbps
-    try:
-        config = config.with_hierarchy(
-            dram_bandwidth_gbps=dram_bandwidth,
-            sram_bandwidth_gbps=args.sram_bandwidth_gbps,
-            sram_kb=args.sram_kb,
-        )
-    except ValueError as exc:
-        raise CliError(str(exc)) from exc
-    print(f"Accelerator: {config.describe()}")
-    print(f"Training {args.model} for {args.epochs} epoch(s)...")
-    trace = trace_workload(args.model, epochs=args.epochs,
-                           batches_per_epoch=args.batches_per_epoch,
-                           batch_size=args.batch_size, seed=args.seed)
-    runner = ExperimentRunner(
-        config, max_groups=args.max_groups,
-        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir,
+    request = RooflineRequest(
+        model=args.model, epochs=args.epochs,
+        batches_per_epoch=args.batches_per_epoch, batch_size=args.batch_size,
+        max_groups=args.max_groups, datatype=args.datatype, seed=args.seed,
+        dram_bandwidth_gbps=args.dram_bandwidth_gbps,
+        sram_bandwidth_gbps=args.sram_bandwidth_gbps,
+        sram_kb=args.sram_kb,
     )
-    result = runner.run_final_epoch(trace)
-    report = roofline_report(result, config)
-    print(format_roofline_report(report))
-    bound_counts = result.bound_counts()
-    memory_bound = sum(n for bound, n in bound_counts.items() if bound != "compute")
-    total_ops = sum(bound_counts.values())
-    stalls = result.stall_cycles()
-    cycles = result.cycles()
-    compute_speedup = 1.0
-    compute_tensordash = cycles["tensordash"] - stalls["tensordash"]
-    if compute_tensordash:
-        compute_speedup = (cycles["baseline"] - stalls["baseline"]) / compute_tensordash
-    print(f"Memory-bound operations:   {memory_bound} of {total_ops}")
-    print(f"Stall fraction:            {result.stall_fraction():.1%}")
-    print(f"Speedup (with stalls):     {result.speedup():.3f}x")
-    print(f"Speedup (compute only):    {compute_speedup:.3f}x")
-    print(format_engine_stats(runner.engine_stats))
+    quiet = args.format == "json"
+    result = _session_for(args).submit(request, progress=None if quiet else print)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    payload = result.result
+    print(format_roofline_report(RooflineReport.from_dict(payload.roofline)))
+    print(f"Memory-bound operations:   {payload.memory_bound_operations} "
+          f"of {payload.total_operations}")
+    print(f"Stall fraction:            {payload.stall_fraction:.1%}")
+    print(f"Speedup (with stalls):     {payload.speedup:.3f}x")
+    print(f"Speedup (compute only):    {payload.compute_speedup:.3f}x")
+    print(_engine_line(result))
     return 0
 
 
@@ -304,43 +353,32 @@ def _coerce_knob_value(value: str):
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    """One-knob alias over the explore machinery (no duplicated expansion)."""
-    from repro.explore.report import format_points_table
-    from repro.explore.runner import StudyRunner
-    from repro.explore.spec import StudySpec
+    from repro.api.schema import SweepRequest
+    from repro.explore.report import format_points_table, study_result_from_dict
 
     values = [_coerce_knob_value(v) for v in args.values.split(",") if v.strip()]
     if not values:
         raise CliError(f"--values {args.values!r} contains no knob values")
-    try:
-        spec = StudySpec(
-            name=f"{args.model}-{args.knob}-sweep",
-            workloads=[args.model],
-            knobs={args.knob: values},
-            epochs=args.epochs,
-            max_groups=args.max_groups,
-            seed=args.seed,
-            objectives=["speedup", "core_energy_efficiency", "energy_efficiency"],
-        )
-    except ValueError as exc:
-        raise CliError(str(exc)) from exc
-    print(f"Training {args.model} once; sweeping {args.knob} over {values}...")
-    runner = StudyRunner(
-        spec, backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir
+    request = SweepRequest(
+        model=args.model, knob=args.knob, values=values,
+        epochs=args.epochs, max_groups=args.max_groups, seed=args.seed,
     )
-    result = runner.run()
-    print(format_points_table(result, title=f"{args.model}: {args.knob} sweep"))
-    print(format_engine_stats(result.stats))
+    result = _session_for(args).submit(request, progress=print)
+    study = study_result_from_dict(result.result.study)
+    print(format_points_table(study, title=f"{args.model}: {args.knob} sweep"))
+    print(format_engine_stats(study.stats))
     return 0
 
 
 def _command_explore(args: argparse.Namespace) -> int:
+    from repro.api.schema import ExploreRequest
     from repro.explore.report import (
         format_study_report,
+        study_result_from_dict,
         study_to_csv,
         study_to_json,
     )
-    from repro.explore.runner import StudyResumeError, StudyRunner
+    from repro.explore.runner import StudyResumeError
     from repro.explore.spec import StudySpec, parse_objectives
 
     if args.resume and not args.study_dir:
@@ -381,24 +419,26 @@ def _command_explore(args: argparse.Namespace) -> int:
         print(f"Study '{spec.name}': {count} of {spec.space_size} "
               f"points ({spec.mode}), objectives "
               f"{', '.join(objectives or spec.objectives)}")
-    runner = StudyRunner(
-        spec,
+    request = ExploreRequest(
+        spec=spec.to_dict(),
         study_dir=args.study_dir,
-        backend=args.backend,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
+        resume=args.resume,
+        objectives=objectives,
     )
     try:
-        result = runner.run(resume=args.resume, progress=None if quiet else print)
+        result = _session_for(args).submit(
+            request, progress=None if quiet else print
+        )
     except StudyResumeError as exc:
         raise CliError(str(exc)) from exc
+    study = study_result_from_dict(result.result.study)
 
     if args.format == "json":
-        text = study_to_json(result, objectives)
+        text = study_to_json(study, objectives)
     elif args.format == "csv":
-        text = study_to_csv(result, objectives)
+        text = study_to_csv(study, objectives)
     else:
-        text = format_study_report(result, objectives)
+        text = format_study_report(study, objectives)
     if args.output:
         Path(args.output).write_text(text if text.endswith("\n") else text + "\n")
         print(f"Wrote {args.output}")
@@ -407,8 +447,17 @@ def _command_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.api.service import serve
+
+    return serve(host=args.host, port=args.port, session=_session_for(args),
+                 study_root=args.study_root)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
+    from repro.api.schema import SchemaError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -422,8 +471,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "explore":
             return _command_explore(args)
+        if args.command == "serve":
+            return _command_serve(args)
     except NotADirectoryError as exc:
         # e.g. --cache-dir pointing at an existing file.
+        parser.error(str(exc))
+    except SchemaError as exc:
+        # An invalid request document (bad model, knob value, hierarchy
+        # parameter, spec field) — a usage error naming the bad field.
         parser.error(str(exc))
     except CliError as exc:
         # invalid spec, knob value, objective or stale study manifest;

@@ -12,7 +12,11 @@ semantics) from *how* it is executed:
   layers across a multiprocessing pool;
 * :mod:`repro.engine.cache` — the content-addressed on-disk result cache;
 * :mod:`repro.engine.engine` — :class:`SimulationEngine`, which composes a
-  backend with the cache and tracks :class:`EngineStats`.
+  backend with the cache stack (disk and/or in-process memo) and tracks
+  :class:`EngineStats`;
+* :mod:`repro.engine.options` — :func:`resolve_engine_options`, the single
+  place the backend/jobs/cache-dir precedence (argument > ``REPRO_*`` env
+  var > default) is decided for every entry point.
 """
 
 from repro.engine.backend import (
@@ -32,6 +36,11 @@ from repro.engine.cache import (
 )
 from repro.engine.parallel import ParallelBackend, default_jobs
 from repro.engine.engine import EngineStats, SimulationEngine
+from repro.engine.options import (
+    DEFAULT_BACKEND,
+    EngineOptions,
+    resolve_engine_options,
+)
 
 __all__ = [
     "SimulationBackend",
@@ -49,4 +58,7 @@ __all__ = [
     "layer_key",
     "EngineStats",
     "SimulationEngine",
+    "DEFAULT_BACKEND",
+    "EngineOptions",
+    "resolve_engine_options",
 ]

@@ -1,15 +1,25 @@
 """The simulation engine: backend dispatch + result caching in one place.
 
 :class:`SimulationEngine` is what the execution stack (experiment runner,
-CLI, benchmark harness) drives instead of a bare
+CLI, API session, benchmark harness) drives instead of a bare
 :class:`~repro.simulation.cycle_sim.LayerSimulator`.  It owns three things:
 
 * a :class:`~repro.engine.backend.SimulationBackend` that decides *how*
   layers execute (readable reference loop, numpy-vectorized fast path, or
   a sharded multiprocessing pool);
-* an optional :class:`~repro.engine.cache.ResultCache` that skips layers
-  whose (config, trace, backend) triple has been simulated before;
+* an optional result-cache stack that skips layers whose (config, trace,
+  backend) triple has been simulated before — a content-addressed
+  :class:`~repro.engine.cache.ResultCache` on disk, an in-process memo
+  (``memory_cache=True``, used by :class:`repro.api.Session` so repeated
+  requests in one session never re-simulate), or both layered;
 * an :class:`EngineStats` record of what happened, which reports surface.
+
+One engine serves any number of accelerator configurations: every
+``simulate_layers`` call may carry its own ``config`` (and sampling
+parameters), and the engine keeps one :class:`LayerSimulator` per
+configuration fingerprint.  This is what lets a long-lived session run
+simulate/sweep/explore/roofline workloads through a single backend pool,
+one cache namespace and one set of counters.
 
 The engine guarantees order preservation: results come back in trace
 order whether they were cache hits, simulated in-process or simulated on
@@ -18,8 +28,9 @@ a worker pool.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import AcceleratorConfig
 from repro.engine.backend import SimulationBackend, get_backend, traced_layers
@@ -66,6 +77,44 @@ class EngineStats:
             "hit_rate": self.hit_rate,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "EngineStats":
+        """Rebuild counters from an :meth:`as_dict` document.
+
+        Derived fields (``hit_rate``) and unknown keys are ignored, so
+        documents from newer writers still load.
+        """
+        jobs = payload.get("jobs")
+        cache_dir = payload.get("cache_dir")
+        return cls(
+            backend=str(payload.get("backend", "vectorized")),
+            jobs=int(jobs) if jobs else 1,
+            cache_dir=str(cache_dir) if cache_dir else None,
+            layers_simulated=int(payload.get("layers_simulated", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
+        )
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def since(self, earlier: "EngineStats") -> "EngineStats":
+        """The activity between an earlier :meth:`snapshot` and now.
+
+        Metadata (backend, jobs, cache_dir) comes from ``self``; the
+        counters are differences.  This is how a shared long-lived engine
+        reports per-request work.
+        """
+        return EngineStats(
+            backend=self.backend,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            layers_simulated=self.layers_simulated - earlier.layers_simulated,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+        )
+
 
 class SimulationEngine:
     """Backend-pluggable, cache-aware driver for layer simulations.
@@ -73,23 +122,30 @@ class SimulationEngine:
     Parameters
     ----------
     config:
-        Accelerator configuration (Table 2 defaults when omitted).
+        Default accelerator configuration (Table 2 defaults when
+        omitted).  Individual ``simulate_layers`` calls may override it.
     backend:
         Backend name (``"reference"``, ``"vectorized"``, ``"parallel"``)
         or a :class:`SimulationBackend` instance.
     jobs:
         Worker count for backends that shard (the parallel backend).
     cache_dir:
-        Directory for the on-disk result cache; ``None`` disables caching.
-        Entries are keyed by (config hash, trace hash, backend), so any
-        change to the accelerator configuration — including the
-        memory-hierarchy bandwidth/capacity parameters — the sampling
-        parameters, the traced operands or the backend invalidates them
-        structurally; results simulated under different hierarchies can
-        never collide.
+        Directory for the on-disk result cache; ``None`` disables the
+        disk layer.  Entries are keyed by (config hash, trace hash,
+        backend), so any change to the accelerator configuration —
+        including the memory-hierarchy bandwidth/capacity parameters —
+        the sampling parameters, the traced operands or the backend
+        invalidates them structurally; results simulated under different
+        hierarchies can never collide.
     max_groups / max_batch:
-        Stream-sampling parameters, forwarded to the layer simulator (and
-        folded into the cache key).
+        Default stream-sampling parameters, forwarded to the layer
+        simulator (and folded into the cache key).  Overridable per call.
+    memory_cache:
+        Keep every result in an in-process memo keyed identically to the
+        disk cache.  This is what makes a warm :class:`repro.api.Session`
+        serve repeated requests without re-simulating — even with no
+        ``cache_dir`` configured.  Memo hits count as cache hits in
+        :attr:`stats`.
     """
 
     def __init__(
@@ -100,36 +156,122 @@ class SimulationEngine:
         cache_dir: Optional[str] = None,
         max_groups: Optional[int] = 256,
         max_batch: Optional[int] = 4,
+        memory_cache: bool = False,
     ):
         self.config = config or AcceleratorConfig()
         self.backend = get_backend(backend, jobs=jobs)
-        self.simulator = LayerSimulator(
-            self.config, max_groups=max_groups, max_batch=max_batch,
-            backend=self.backend,
-        )
+        self.max_groups = max_groups
+        self.max_batch = max_batch
         self.cache = ResultCache(cache_dir) if cache_dir else None
-        self._config_fp = config_fingerprint(self.config, max_groups, max_batch)
+        self._memo: Optional[Dict[str, LayerResult]] = {} if memory_cache else None
+        self._simulators: Dict[str, LayerSimulator] = {}
         self.stats = EngineStats(
             backend=self.backend.name,
             jobs=getattr(self.backend, "jobs", 1),
             cache_dir=str(cache_dir) if cache_dir else None,
         )
+        # The default-config simulator, eagerly built for back-compat
+        # (callers that read ``engine.simulator`` directly).
+        self.simulator = self.simulator_for(self.config)
 
     # ------------------------------------------------------------------
-    def _key_for(self, trace) -> str:
-        return layer_key(self._config_fp, trace_fingerprint(trace), self.backend.name)
+    def _resolve(
+        self,
+        config: Optional[AcceleratorConfig],
+        max_groups: Optional[int],
+        max_batch: Optional[int],
+    ) -> Tuple[LayerSimulator, str]:
+        """The (simulator, config fingerprint) pair for one call's inputs."""
+        config = self.config if config is None else config
+        max_groups = self.max_groups if max_groups is None else max_groups
+        max_batch = self.max_batch if max_batch is None else max_batch
+        fingerprint = config_fingerprint(config, max_groups, max_batch)
+        simulator = self._simulators.get(fingerprint)
+        if simulator is None:
+            simulator = LayerSimulator(
+                config, max_groups=max_groups, max_batch=max_batch,
+                backend=self.backend,
+            )
+            self._simulators[fingerprint] = simulator
+        return simulator, fingerprint
 
-    def simulate_layer(self, trace) -> LayerResult:
+    def simulator_for(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        max_groups: Optional[int] = None,
+        max_batch: Optional[int] = None,
+    ) -> LayerSimulator:
+        """The layer simulator bound to one configuration (built once)."""
+        simulator, _ = self._resolve(config, max_groups, max_batch)
+        return simulator
+
+    @contextmanager
+    def disk_cache(self, cache_dir):
+        """Temporarily attach an on-disk cache layer (no-op if one exists).
+
+        Used by sessions whose engine was built without a ``cache_dir``
+        when a workflow brings its own persistence — e.g. a study's
+        ``<study_dir>/cache`` — so interrupted studies still resume with
+        layer-level disk hits in a fresh process.  The engine's own
+        configuration wins when set; results stored while attached also
+        land in the memo, so nothing is lost on detach.
+        """
+        if cache_dir is None or self.cache is not None:
+            yield self
+            return
+        previous_label = self.stats.cache_dir
+        self.cache = ResultCache(cache_dir)
+        self.stats.cache_dir = str(cache_dir)
+        try:
+            yield self
+        finally:
+            self.cache = None
+            self.stats.cache_dir = previous_label
+
+    def _lookup(self, key: str) -> Optional[LayerResult]:
+        if self._memo is not None:
+            hit = self._memo.get(key)
+            if hit is not None:
+                return hit
+        if self.cache is not None:
+            loaded = self.cache.load(key)
+            if loaded is not None and self._memo is not None:
+                # Promote disk hits so repeated requests in one session
+                # stop re-reading and re-parsing the cache files.
+                self._memo[key] = loaded
+            return loaded
+        return None
+
+    def _store(self, key: str, result: LayerResult) -> None:
+        if self._memo is not None:
+            self._memo[key] = result
+        if self.cache is not None:
+            self.cache.store(key, result)
+
+    # ------------------------------------------------------------------
+    def simulate_layer(self, trace, config: Optional[AcceleratorConfig] = None) -> LayerResult:
         """Simulate (or load) one traced layer."""
-        results = self.simulate_layers([trace])
+        results = self.simulate_layers([trace], config=config)
         if not results:
             raise ValueError(
                 f"layer {trace.layer_name!r} has no operand masks to simulate"
             )
         return results[0]
 
-    def simulate_layers(self, traces: Sequence) -> List[LayerResult]:
-        """Simulate every traced layer, consulting the cache first.
+    def simulate_layers(
+        self,
+        traces: Sequence,
+        config: Optional[AcceleratorConfig] = None,
+        max_groups: Optional[int] = None,
+        max_batch: Optional[int] = None,
+    ) -> List[LayerResult]:
+        """Simulate every traced layer, consulting the cache stack first.
+
+        ``config`` / ``max_groups`` / ``max_batch`` default to the
+        engine's construction-time values; passing them lets one engine
+        serve many accelerator configurations (each gets its own
+        simulator and cache namespace, all sharing the backend, memo and
+        counters).
 
         Cache hits are loaded; misses are batched into one
         ``backend.simulate_layers`` call (so the parallel backend shards
@@ -137,16 +279,20 @@ class SimulationEngine:
         back in trace order.
         """
         work = traced_layers(traces)
-        if self.cache is None:
-            results = self.backend.simulate_layers(self.simulator, work)
+        simulator, config_fp = self._resolve(config, max_groups, max_batch)
+        if self.cache is None and self._memo is None:
+            results = self.backend.simulate_layers(simulator, work)
             self.stats.layers_simulated += len(results)
             return results
 
         slots: List[Optional[LayerResult]] = [None] * len(work)
         misses: List[int] = []
-        keys: List[str] = [self._key_for(trace) for trace in work]
+        keys: List[str] = [
+            layer_key(config_fp, trace_fingerprint(trace), self.backend.name)
+            for trace in work
+        ]
         for index, key in enumerate(keys):
-            cached = self.cache.load(key)
+            cached = self._lookup(key)
             if cached is None:
                 misses.append(index)
             else:
@@ -156,10 +302,10 @@ class SimulationEngine:
 
         if misses:
             fresh = self.backend.simulate_layers(
-                self.simulator, [work[i] for i in misses]
+                simulator, [work[i] for i in misses]
             )
             self.stats.layers_simulated += len(fresh)
             for index, result in zip(misses, fresh):
-                self.cache.store(keys[index], result)
+                self._store(keys[index], result)
                 slots[index] = result
         return [result for result in slots if result is not None]

@@ -1,0 +1,86 @@
+"""Engine option resolution: one precedence rule for every entry point.
+
+Three knobs steer the simulation engine everywhere — CLI flags, the
+programmatic :class:`repro.api.Session`, the benchmark harness:
+
+* **backend** — ``reference`` / ``vectorized`` / ``parallel``;
+* **jobs** — worker-pool size for the parallel backend;
+* **cache_dir** — on-disk result-cache directory.
+
+:func:`resolve_engine_options` is the single place their precedence is
+decided: an explicit argument wins, then the ``REPRO_BACKEND`` /
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment variables, then the
+defaults (``vectorized``, auto-sized pool, no cache).  Every caller goes
+through this helper, so setting ``REPRO_BACKEND=reference`` steers the
+CLI, a long-lived API session and a benchmark run identically.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+#: The default execution backend when neither argument nor env var is set.
+DEFAULT_BACKEND = "vectorized"
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Fully resolved engine configuration (what the engine is built from)."""
+
+    backend: str = DEFAULT_BACKEND
+    jobs: Optional[int] = None
+    cache_dir: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view for health/stats payloads."""
+        return {
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+        }
+
+
+def resolve_engine_options(
+    backend: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    environ: Optional[Mapping[str, str]] = None,
+) -> EngineOptions:
+    """Resolve the engine knobs: explicit argument > env var > default.
+
+    ``environ`` defaults to ``os.environ``; tests pass a plain dict.
+    Invalid values fail here — before any model is trained — with an
+    error naming the offending source.
+    """
+    env = os.environ if environ is None else environ
+
+    if backend is None:
+        backend = env.get("REPRO_BACKEND") or DEFAULT_BACKEND
+    from repro.engine.backend import available_backends
+
+    if backend not in available_backends():
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        )
+
+    if jobs is None:
+        raw = env.get("REPRO_JOBS")
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {raw!r}"
+                ) from None
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    if cache_dir is None:
+        cache_dir = env.get("REPRO_CACHE_DIR") or None
+    return EngineOptions(
+        backend=backend,
+        jobs=jobs,
+        cache_dir=str(cache_dir) if cache_dir else None,
+    )

@@ -158,6 +158,29 @@ def study_to_json(
     return json.dumps(study_to_dict(result, names), indent=indent) + "\n"
 
 
+def study_result_from_dict(payload: Dict) -> StudyResult:
+    """Rebuild a :class:`StudyResult` from a :func:`study_to_dict` document.
+
+    The inverse rendering path: API clients (and the CLI, which routes
+    every study through :class:`repro.api.Session`) receive the
+    serialised document and can re-render any of the three views from
+    it.  Frontier membership and per-objective winners are recomputed
+    from the points, so they always agree with the tables.
+    """
+    from repro.engine.engine import EngineStats
+    from repro.explore.runner import PointResult
+    from repro.explore.spec import StudySpec
+
+    if not isinstance(payload, dict) or "spec" not in payload or "points" not in payload:
+        raise ValueError("study document must be a dict with 'spec' and 'points'")
+    return StudyResult(
+        spec=StudySpec.from_dict(payload["spec"]),
+        points=[PointResult.from_dict(point) for point in payload["points"]],
+        stats=EngineStats.from_dict(payload.get("engine") or {}),
+        resumed_points=int(payload.get("resumed_points", 0)),
+    )
+
+
 def study_to_csv(result: StudyResult, names: Optional[Sequence[str]] = None) -> str:
     """Flat CSV: one row per point, one column per recorded metric.
 

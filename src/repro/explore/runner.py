@@ -130,6 +130,15 @@ class StudyRunner:
         Engine flags, identical to every other entry point.  With a
         ``study_dir`` and no explicit ``cache_dir`` the cache lands in
         ``<study_dir>/cache`` so resumed studies get layer-level hits.
+    engine:
+        An existing :class:`~repro.engine.SimulationEngine` to run every
+        point through (backend/jobs/cache args then only label reports).
+        This is how :class:`repro.api.Session` makes studies share its
+        warm cache.
+    trace_fn:
+        Optional ``workload name -> TrainingTrace`` provider overriding
+        the built-in train-and-trace step — e.g. a session-level trace
+        cache.  The provider must honour the spec's trace parameters.
     """
 
     def __init__(
@@ -139,11 +148,15 @@ class StudyRunner:
         backend: str = "vectorized",
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        engine=None,
+        trace_fn: Optional[Callable[[str], object]] = None,
     ):
         self.spec = spec
         self.study_dir = Path(study_dir) if study_dir else None
         self.backend = backend
         self.jobs = jobs
+        self.engine = engine
+        self._trace_fn = trace_fn
         if self.study_dir is not None:
             try:
                 self.study_dir.mkdir(parents=True, exist_ok=True)
@@ -217,16 +230,19 @@ class StudyRunner:
     def _trace(self, workload: str):
         """Train and trace one workload (once per study)."""
         if workload not in self._traces:
-            from repro.models.registry import trace_workload
+            if self._trace_fn is not None:
+                self._traces[workload] = self._trace_fn(workload)
+            else:
+                from repro.models.registry import trace_workload
 
-            spec = self.spec
-            self._traces[workload] = trace_workload(
-                workload,
-                epochs=spec.epochs,
-                batches_per_epoch=spec.batches_per_epoch,
-                batch_size=spec.batch_size,
-                seed=spec.seed,
-            )
+                spec = self.spec
+                self._traces[workload] = trace_workload(
+                    workload,
+                    epochs=spec.epochs,
+                    batches_per_epoch=spec.batches_per_epoch,
+                    batch_size=spec.batch_size,
+                    seed=spec.seed,
+                )
         return self._traces[workload]
 
     def _scenario_trace(self, workload: str, scenario: str) -> EpochTrace:
@@ -248,6 +264,7 @@ class StudyRunner:
                 backend=self.backend,
                 jobs=self.jobs,
                 cache_dir=self.cache_dir,
+                engine=self.engine,
             )
         return self._runners[key]
 
@@ -363,11 +380,22 @@ class StudyRunner:
         )
 
     def _aggregate_stats(self) -> EngineStats:
-        """Engine counters summed across every per-config runner."""
+        """Engine counters summed across every per-config runner.
+
+        Runners sharing one injected engine contribute its counters only
+        once (the counters are engine-level, not per-runner) — but note
+        that a shared engine's totals then cover the engine's whole
+        lifetime, not just this study; callers wanting per-study numbers
+        should snapshot/diff with :meth:`EngineStats.since`.
+        """
         totals = EngineStats(
             backend=self.backend, jobs=self.jobs or 1, cache_dir=self.cache_dir
         )
+        seen = set()
         for runner in self._runners.values():
+            if id(runner.engine) in seen:
+                continue
+            seen.add(id(runner.engine))
             stats = runner.engine_stats
             totals.layers_simulated += stats.layers_simulated
             totals.cache_hits += stats.cache_hits

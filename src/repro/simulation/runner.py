@@ -15,6 +15,12 @@ cache directory set, re-running a sweep re-simulates only layers whose
 loaded from disk, and ``runner.engine.stats`` records the hit/miss split
 for reports.  Backends are bit-identical, so results never depend on the
 execution strategy chosen.
+
+Runners can alternatively be handed an existing
+:class:`~repro.engine.SimulationEngine` via the ``engine`` argument, in
+which case the backend/jobs/cache arguments are ignored and the runner
+shares that engine's pool, cache stack and counters.  This is how
+:class:`repro.api.Session` gives every workflow one warm cache.
 """
 
 from __future__ import annotations
@@ -169,21 +175,31 @@ class ExperimentRunner:
         backend="vectorized",
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        engine=None,
     ):
         # Imported here so repro.simulation stays importable on its own;
         # the engine package sits above this module in the layering.
         from repro.engine.engine import SimulationEngine
 
         self.config = config or AcceleratorConfig()
-        self.engine = SimulationEngine(
-            self.config,
-            backend=backend,
-            jobs=jobs,
-            cache_dir=cache_dir,
-            max_groups=max_groups,
-            max_batch=max_batch,
+        self.max_groups = max_groups
+        self.max_batch = max_batch
+        if engine is None:
+            # This runner owns its engine (the classic one-shot wiring).
+            engine = SimulationEngine(
+                self.config,
+                backend=backend,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                max_groups=max_groups,
+                max_batch=max_batch,
+            )
+        self.engine = engine
+        # A shared engine keeps one simulator per configuration; asking
+        # for ours up front also validates the config once, eagerly.
+        self.simulator = engine.simulator_for(
+            self.config, max_groups=max_groups, max_batch=max_batch
         )
-        self.simulator = self.engine.simulator
         self.accountant = EnergyAccountant(self.config)
 
     @property
@@ -194,7 +210,10 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run_epoch(self, model_name: str, epoch_trace: EpochTrace) -> ModelResult:
         """Simulate one epoch's traced batch for a model."""
-        layer_results = self.engine.simulate_layers(epoch_trace.layers)
+        layer_results = self.engine.simulate_layers(
+            epoch_trace.layers, config=self.config,
+            max_groups=self.max_groups, max_batch=self.max_batch,
+        )
         return ModelResult(
             model_name=model_name,
             epoch=epoch_trace.epoch,
@@ -227,7 +246,10 @@ class ExperimentRunner:
                 (model_name, epoch_trace.epoch, len(flat), len(flat) + len(work))
             )
             flat.extend(work)
-        results = self.engine.simulate_layers(flat)
+        results = self.engine.simulate_layers(
+            flat, config=self.config,
+            max_groups=self.max_groups, max_batch=self.max_batch,
+        )
         return [
             ModelResult(
                 model_name=name, epoch=epoch, layer_results=results[start:stop]
@@ -312,6 +334,12 @@ def simulate_model_training(
     This is the one-call public API used by the quickstart example: it
     trains ``model`` on ``dataset`` for a few epochs, traces the operands
     of the final epoch and returns the aggregated accelerator results.
+
+    Kept as a stable shim: new code that works with *registered*
+    workloads should prefer :class:`repro.api.Session`, whose requests
+    are serialisable and whose engine cache stays warm across calls.
+    This function remains for ad-hoc models/datasets that are not in the
+    registry.
     """
     from repro.nn.optim import MomentumSGD
     from repro.training.trainer import Trainer, TrainingConfig

@@ -32,7 +32,29 @@ class TestParser:
         assert args.model == "snli"
         assert args.dram_bandwidth_gbps is None   # Table 2 peak at runtime
         assert args.sram_kb is None
-        assert args.backend == "vectorized"
+        # None, not "vectorized": the engine-option helper resolves the
+        # backend (REPRO_BACKEND fallback) so the CLI cannot shadow it.
+        assert args.backend is None
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.backend is None
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_simulate_and_roofline_take_format_json(self):
+        assert build_parser().parse_args(
+            ["simulate", "snli", "--format", "json"]).format == "json"
+        assert build_parser().parse_args(
+            ["roofline", "snli", "--format", "json"]).format == "json"
 
     def test_roofline_accepts_hierarchy_flags(self):
         args = build_parser().parse_args([
@@ -113,3 +135,38 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "dram_bandwidth_gbps=2" in output
         assert "dram_bandwidth_gbps=51.2" in output
+
+    def test_simulate_format_json_is_a_result_envelope(self, capsys):
+        import json
+
+        from repro.api.schema import SCHEMA_VERSION, ApiResult
+
+        exit_code = main([
+            "simulate", "snli", "--epochs", "1", "--batches-per-epoch", "1",
+            "--batch-size", "4", "--max-groups", "8", "--format", "json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "simulate"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert "Total" in payload["result"]["speedups"]
+        # The document parses back into a validated envelope.
+        envelope = ApiResult.from_dict(payload)
+        assert envelope.result.model == "snli"
+
+    def test_roofline_format_json_is_a_result_envelope(self, capsys):
+        import json
+
+        from repro.api.schema import ApiResult
+
+        exit_code = main([
+            "roofline", "snli", "--epochs", "1", "--batches-per-epoch", "1",
+            "--batch-size", "4", "--max-groups", "8",
+            "--dram-bandwidth-gbps", "2", "--format", "json",
+        ])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "roofline"
+        envelope = ApiResult.from_dict(payload)
+        assert envelope.result.total_operations > 0
+        assert envelope.result.roofline["points"]
