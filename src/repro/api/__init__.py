@@ -25,6 +25,8 @@ from repro.api.schema import (
     ExploreResult,
     RooflineRequest,
     RooflineResult,
+    ScaleRequest,
+    ScaleResult,
     SchemaError,
     SimulateRequest,
     SimulateResult,
@@ -40,10 +42,12 @@ __all__ = [
     "SchemaError",
     "SimulateRequest",
     "RooflineRequest",
+    "ScaleRequest",
     "SweepRequest",
     "ExploreRequest",
     "SimulateResult",
     "RooflineResult",
+    "ScaleResult",
     "SweepResult",
     "ExploreResult",
     "ApiResult",

@@ -1,9 +1,9 @@
 """Versioned, JSON-serialisable request/result schema for ``repro.api``.
 
 Every workflow the repository supports — simulate, roofline, sweep,
-explore — is described by one request dataclass and answered with one
-result dataclass wrapped in an :class:`ApiResult` envelope.  All types
-share the same contract:
+explore, scale — is described by one request dataclass and answered with
+one result dataclass wrapped in an :class:`ApiResult` envelope.  All
+types share the same contract:
 
 * ``to_dict()`` produces a plain-JSON document (lists, dicts, scalars)
   tagged with ``kind`` and ``schema_version`` where the type is
@@ -24,6 +24,7 @@ majors are rejected with a clear error instead of being misread.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, List, Optional
 
@@ -69,6 +70,10 @@ def _check_optional_number(
         return
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise SchemaError(f"{owner}.{name}", f"expected a number, got {value!r}")
+    if not math.isfinite(value):
+        # NaN slips past ordering comparisons (NaN <= x is False), and
+        # neither NaN nor inf is representable in strict JSON.
+        raise SchemaError(f"{owner}.{name}", f"expected a finite number, got {value!r}")
     if value <= minimum:
         raise SchemaError(f"{owner}.{name}", f"must be > {minimum:g}, got {value}")
 
@@ -221,6 +226,45 @@ class RooflineRequest(SimulateRequest):
 
 
 @dataclass
+class ScaleRequest(SimulateRequest):
+    """Partition one workload across N simulated devices and report scaling.
+
+    ``link_gbps`` / ``hop_latency_cycles`` parameterise the
+    :class:`repro.scale.Interconnect`; ``link_gbps: null`` means an
+    infinite link (with ``hop_latency_cycles: 0`` that is the ideal
+    interconnect, under which ``num_devices: 1`` reproduces plain
+    simulation bit-exactly).  ``trace_max_batch`` raises the traced
+    samples kept per convolutional layer — set it to at least
+    ``num_devices`` for balanced data-parallel shards (``null`` keeps
+    the trainer's default of 4, matching ``simulate``).
+    """
+
+    kind: ClassVar[str] = "scale"
+
+    num_devices: int = 2
+    partition: str = "data"
+    link_gbps: Optional[float] = 25.0
+    hop_latency_cycles: int = 500
+    trace_max_batch: Optional[int] = None
+
+    def validate(self) -> None:
+        super().validate()
+        owner = type(self).__name__
+        from repro.scale.partition import PARTITIONS
+
+        _check_int(owner, "num_devices", self.num_devices)
+        if self.partition not in PARTITIONS:
+            raise SchemaError(
+                f"{owner}.partition",
+                f"expected one of {list(PARTITIONS)}, got {self.partition!r}",
+            )
+        _check_optional_number(owner, "link_gbps", self.link_gbps)
+        _check_int(owner, "hop_latency_cycles", self.hop_latency_cycles, minimum=0)
+        if self.trace_max_batch is not None:
+            _check_int(owner, "trace_max_batch", self.trace_max_batch)
+
+
+@dataclass
 class SweepRequest(_ApiModel):
     """Re-simulate one workload across a one-knob configuration sweep."""
 
@@ -234,16 +278,20 @@ class SweepRequest(_ApiModel):
     batch_size: int = 8
     max_groups: int = 48
     seed: Optional[int] = None
+    #: See :class:`ScaleRequest`; raise it when sweeping ``num_devices``.
+    trace_max_batch: Optional[int] = None
 
     def validate(self) -> None:
         owner = type(self).__name__
         _check_model(owner, self.model)
         from repro.core.config import AcceleratorConfig
-        from repro.explore.spec import KNOBS
+        from repro.explore.spec import KNOBS, SCALE_KNOBS
 
-        if self.knob not in KNOBS:
+        if self.knob not in KNOBS and self.knob not in SCALE_KNOBS:
             raise SchemaError(
-                f"{owner}.knob", f"unknown knob {self.knob!r}; known: {sorted(KNOBS)}"
+                f"{owner}.knob",
+                f"unknown knob {self.knob!r}; known: "
+                f"{sorted(KNOBS) + sorted(SCALE_KNOBS)}",
             )
         if not isinstance(self.values, (list, tuple)) or not self.values:
             raise SchemaError(
@@ -253,7 +301,10 @@ class SweepRequest(_ApiModel):
         self.values = list(self.values)
         for value in self.values:
             try:
-                KNOBS[self.knob](AcceleratorConfig(), value)
+                if self.knob in KNOBS:
+                    KNOBS[self.knob](AcceleratorConfig(), value)
+                else:
+                    SCALE_KNOBS[self.knob](value)
             except (ValueError, TypeError, KeyError) as exc:
                 raise SchemaError(
                     f"{owner}.values", f"invalid value {value!r} for knob "
@@ -263,6 +314,8 @@ class SweepRequest(_ApiModel):
             _check_int(owner, name, getattr(self, name))
         if self.seed is not None:
             _check_int(owner, "seed", self.seed, minimum=-(2 ** 31))
+        if self.trace_max_batch is not None:
+            _check_int(owner, "trace_max_batch", self.trace_max_batch)
 
 
 @dataclass
@@ -334,7 +387,13 @@ class ExploreRequest(_ApiModel):
 #: Request types by wire tag, the dispatch table of :func:`request_from_dict`.
 REQUEST_TYPES: Dict[str, type] = {
     cls.kind: cls
-    for cls in (SimulateRequest, RooflineRequest, SweepRequest, ExploreRequest)
+    for cls in (
+        SimulateRequest,
+        RooflineRequest,
+        ScaleRequest,
+        SweepRequest,
+        ExploreRequest,
+    )
 }
 
 
@@ -413,6 +472,43 @@ class RooflineResult(_ApiModel):
 
 
 @dataclass
+class ScaleResult(_ApiModel):
+    """Multi-device scaling outcome: headline numbers plus the full report."""
+
+    model: str
+    config: str
+    partition: str = "data"
+    num_devices: int = 1
+    #: Human-readable interconnect summary (``Interconnect.describe()``).
+    link: str = "ideal (unbounded)"
+    speedup: float = 1.0
+    efficiency: float = 1.0
+    comm_fraction: float = 0.0
+    single_device_cycles: int = 0
+    scaled_cycles: int = 0
+    #: A :meth:`repro.scale.ScalingReport.as_dict` document.
+    report: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_str(owner, "model", self.model)
+        _check_str(owner, "config", self.config)
+        _check_str(owner, "partition", self.partition)
+        _check_str(owner, "link", self.link)
+        _check_int(owner, "num_devices", self.num_devices)
+        for name in ("single_device_cycles", "scaled_cycles"):
+            _check_int(owner, name, getattr(self, name), minimum=0)
+        for name in ("speedup", "efficiency", "comm_fraction"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"{owner}.{name}", f"expected a number, got {value!r}")
+        if not isinstance(self.report, dict):
+            raise SchemaError(
+                f"{owner}.report", f"expected an object, got {self.report!r}"
+            )
+
+
+@dataclass
 class SweepResult(_ApiModel):
     """One-knob sweep outcome: the underlying study document plus labels."""
 
@@ -450,6 +546,7 @@ class ExploreResult(_ApiModel):
 RESULT_TYPES: Dict[str, type] = {
     "simulate": SimulateResult,
     "roofline": RooflineResult,
+    "scale": ScaleResult,
     "sweep": SweepResult,
     "explore": ExploreResult,
 }

@@ -4,8 +4,8 @@ A deliberately small HTTP layer — stdlib :mod:`http.server` only, no new
 dependencies — that exposes the :class:`~repro.api.Session` facade to
 concurrent clients:
 
-* ``POST /v1/simulate`` / ``/v1/roofline`` / ``/v1/sweep`` /
-  ``/v1/explore`` — body is the matching request document from
+* ``POST /v1/simulate`` / ``/v1/roofline`` / ``/v1/scale`` /
+  ``/v1/sweep`` / ``/v1/explore`` — body is the matching request document from
   :mod:`repro.api.schema` (the ``kind`` tag may be omitted; the path
   implies it).  Responds with the :class:`~repro.api.schema.ApiResult`
   envelope as JSON.

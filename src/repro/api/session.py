@@ -8,8 +8,9 @@ once (explicit argument > ``REPRO_*`` env var > default, via
 :class:`~repro.engine.SimulationEngine` with the in-process result memo
 enabled, and serves every workflow through it:
 
-* ``simulate()`` / ``roofline()`` / ``sweep()`` / ``explore()`` — typed
-  convenience wrappers that build the matching request;
+* ``simulate()`` / ``roofline()`` / ``scale()`` / ``sweep()`` /
+  ``explore()`` — typed convenience wrappers that build the matching
+  request;
 * ``submit(request)`` — the single dispatch point the CLI, the
   ``repro serve`` batch service and programmatic callers all use.
 
@@ -49,6 +50,8 @@ from repro.api.schema import (
     ExploreResult,
     RooflineRequest,
     RooflineResult,
+    ScaleRequest,
+    ScaleResult,
     SimulateRequest,
     SimulateResult,
     SweepRequest,
@@ -119,6 +122,7 @@ class Session:
         self._handlers = {
             SimulateRequest.kind: self._run_simulate,
             RooflineRequest.kind: self._run_roofline,
+            ScaleRequest.kind: self._run_scale,
             SweepRequest.kind: self._run_sweep,
             ExploreRequest.kind: self._run_explore,
         }
@@ -128,16 +132,18 @@ class Session:
 
     def _trace(
         self, model: str, epochs: int, batches_per_epoch: int,
-        batch_size: int, seed: int,
+        batch_size: int, seed: int, trace_max_batch: Optional[int] = None,
     ):
         """Train-and-trace one workload, memoised with LRU eviction."""
-        key = (model, epochs, batches_per_epoch, batch_size, seed)
+        key = (model, epochs, batches_per_epoch, batch_size, seed,
+               trace_max_batch)
         if key in self._traces:
             self._traces.move_to_end(key)
         else:
             self._traces[key] = trace_workload(
                 model, epochs=epochs, batches_per_epoch=batches_per_epoch,
                 batch_size=batch_size, seed=seed,
+                trace_max_batch=trace_max_batch,
             )
             while len(self._traces) > self._max_cached_traces:
                 self._traces.popitem(last=False)
@@ -206,6 +212,10 @@ class Session:
     def roofline(self, model: str, progress: Progress = None, **params) -> ApiResult:
         """Build and submit a :class:`RooflineRequest` for ``model``."""
         return self.submit(RooflineRequest(model=model, **params), progress=progress)
+
+    def scale(self, model: str, progress: Progress = None, **params) -> ApiResult:
+        """Build and submit a :class:`ScaleRequest` for ``model``."""
+        return self.submit(ScaleRequest(model=model, **params), progress=progress)
 
     def sweep(
         self, model: str, knob: str = "rows", values: Optional[List] = None,
@@ -312,6 +322,60 @@ class Session:
             compute_speedup=compute_speedup,
         )
 
+    def _run_scale(self, request: ScaleRequest, progress: Progress) -> ScaleResult:
+        from repro.scale import Interconnect, ScaleRunner
+
+        emit = progress or (lambda message: None)
+        config = AcceleratorConfig().with_pe(datatype=request.datatype)
+        interconnect = Interconnect(
+            link_gbps=request.link_gbps,
+            hop_latency_cycles=request.hop_latency_cycles,
+        )
+        emit(f"Accelerator: {config.describe()}")
+        emit(f"Scaling: {request.num_devices} device(s), "
+             f"{request.partition} partition, {interconnect.describe()}")
+        emit(f"Training {request.model} for {request.epochs} epoch(s)...")
+        trace = self._trace(
+            request.model, request.epochs, request.batches_per_epoch,
+            request.batch_size, self._seed_for(request),
+            trace_max_batch=request.trace_max_batch,
+        )
+        # The simulator's own batch clip must not undo a raised trace
+        # cap, or data-parallel shards collapse back onto the default.
+        from repro.training.trainer import DEFAULT_TRACE_MAX_BATCH
+
+        max_batch = (
+            DEFAULT_TRACE_MAX_BATCH
+            if request.trace_max_batch is None
+            else max(DEFAULT_TRACE_MAX_BATCH, request.trace_max_batch)
+        )
+        runner = ScaleRunner(
+            config=config,
+            engine=self.engine,
+            max_groups=request.max_groups,
+            max_batch=max_batch,
+        )
+        report = runner.run(
+            trace.final_epoch(),
+            workload=request.model,
+            num_devices=request.num_devices,
+            partition=request.partition,
+            interconnect=interconnect,
+        )
+        return ScaleResult(
+            model=request.model,
+            config=config.describe(),
+            partition=request.partition,
+            num_devices=request.num_devices,
+            link=interconnect.describe(),
+            speedup=report.speedup,
+            efficiency=report.efficiency,
+            comm_fraction=report.comm_fraction,
+            single_device_cycles=report.single_device_cycles,
+            scaled_cycles=report.scaled_cycles,
+            report=report.as_dict(),
+        )
+
     def _study_runner(self, spec, study_dir=None, emit_trace=True):
         """A study runner wired onto the session engine and trace cache."""
         from repro.explore.runner import StudyRunner
@@ -320,6 +384,7 @@ class Session:
             return self._trace(
                 workload, spec.epochs, spec.batches_per_epoch,
                 spec.batch_size, spec.seed,
+                trace_max_batch=spec.trace_max_batch,
             )
 
         return StudyRunner(
@@ -334,10 +399,14 @@ class Session:
 
     def _run_sweep(self, request: SweepRequest, progress: Progress) -> SweepResult:
         from repro.explore.report import study_to_dict
-        from repro.explore.spec import StudySpec
+        from repro.explore.spec import SCALE_KNOBS, StudySpec
 
         emit = progress or (lambda message: None)
         values = list(request.values)
+        objectives = ["speedup", "core_energy_efficiency", "energy_efficiency"]
+        if request.knob in SCALE_KNOBS:
+            # Scaling sweeps table the scaling curve, not the energy one.
+            objectives = ["scaled_speedup", "scaling_efficiency", "comm_fraction"]
         spec = StudySpec(
             name=f"{request.model}-{request.knob}-sweep",
             workloads=[request.model],
@@ -346,8 +415,9 @@ class Session:
             batches_per_epoch=request.batches_per_epoch,
             batch_size=request.batch_size,
             max_groups=request.max_groups,
+            trace_max_batch=request.trace_max_batch,
             seed=self._seed_for(request),
-            objectives=["speedup", "core_energy_efficiency", "energy_efficiency"],
+            objectives=objectives,
         )
         emit(f"Training {request.model} once; sweeping {request.knob} over {values}...")
         runner = self._study_runner(spec)

@@ -23,9 +23,20 @@ JSON to a running ``repro serve``.
     fractions and compute/memory-bound verdicts, plus the speedup with
     and without memory stalls.  ``--format json`` supported.
 
+``scale``
+    Partition one workload across N simulated accelerator devices —
+    ``--partition data`` (batch sharding + weight-gradient ring
+    all-reduce) or ``--partition pipeline`` (MAC-balanced layer stages
+    exchanging boundary activations) — under a configurable
+    device-to-device link (``--link-gbps`` / ``--hop-latency-cycles``),
+    and report per-device cycles, communication stalls and the scaling
+    efficiency against ideal linear.  ``--format json`` supported.
+
 ``sweep``
     Re-simulate one traced workload across a one-knob configuration
-    sweep (a one-knob ``explore`` study under the hood).
+    sweep (a one-knob ``explore`` study under the hood).  Scaling knobs
+    (``num_devices``, ``partition``, ``link_gbps``) sweep too — the
+    quickest way to a scaling-efficiency curve.
 
 ``explore``
     Run a declarative design-space study from a JSON spec: accelerator
@@ -63,6 +74,8 @@ Examples
     python -m repro simulate vgg16 --backend parallel --jobs 8
     python -m repro simulate snli --format json
     python -m repro roofline snli --dram-bandwidth-gbps 4
+    python -m repro scale resnet50 --devices 8 --partition data --trace-max-batch 8
+    python -m repro sweep snli --knob num_devices --values 1,2,4,8
     python -m repro sweep snli --knob dram_bandwidth_gbps --values 4,12.8,51.2
     python -m repro sweep squeezenet --knob rows --values 1,4,16 \\
         --cache-dir ~/.cache/repro   # second run: zero re-simulations
@@ -83,7 +96,7 @@ from typing import List, Optional
 from repro._version import __version__
 from repro.analysis.reporting import format_engine_stats, format_table
 from repro.engine import available_backends
-from repro.explore.spec import KNOBS
+from repro.explore.spec import KNOBS, SCALE_KNOBS
 from repro.models.registry import MODEL_REGISTRY, available_models
 
 
@@ -179,17 +192,63 @@ def build_parser() -> argparse.ArgumentParser:
              "envelope the programmatic API returns (default: table)")
     _add_engine_arguments(roofline)
 
+    scale = subparsers.add_parser(
+        "scale",
+        help="partition one workload across N simulated devices (data or "
+             "pipeline parallel) and report per-device cycles, "
+             "communication stalls and scaling efficiency",
+    )
+    scale.add_argument("model", choices=available_models())
+    scale.add_argument("--devices", type=int, default=2,
+                       help="number of simulated accelerator devices "
+                            "(default: 2)")
+    scale.add_argument("--partition", choices=("data", "pipeline"),
+                       default="data",
+                       help="partitioning strategy: 'data' shards the batch "
+                            "and all-reduces weight gradients, 'pipeline' "
+                            "cuts the layers into MAC-balanced stages "
+                            "(default: data)")
+    scale.add_argument(
+        "--link-gbps", default="25",
+        help="device-to-device link bandwidth in GB/s, or 'unbounded' for "
+             "an infinite link (default: 25)")
+    scale.add_argument(
+        "--hop-latency-cycles", type=int, default=500,
+        help="fixed per-hop transfer latency in accelerator cycles "
+             "(default: 500, i.e. 1 us at 500 MHz)")
+    scale.add_argument(
+        "--trace-max-batch", type=int, default=None,
+        help="traced samples kept per convolutional layer; raise to at "
+             "least --devices so data-parallel shards stay balanced "
+             "(default: the trainer's cap of 4, matching 'simulate')")
+    scale.add_argument("--epochs", type=int, default=2)
+    scale.add_argument("--batch-size", type=int, default=8)
+    scale.add_argument("--batches-per-epoch", type=int, default=2)
+    scale.add_argument("--max-groups", type=int, default=64,
+                       help="work groups sampled per layer per operation")
+    scale.add_argument("--datatype", choices=("fp32", "bfloat16"), default="fp32")
+    scale.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format: human-readable tables, or the JSON result "
+             "envelope the programmatic API returns (default: table)")
+    _add_engine_arguments(scale)
+
     sweep = subparsers.add_parser(
         "sweep",
         help="sweep one design knob over a traced workload "
              "(a one-knob 'explore' study)",
     )
     sweep.add_argument("model", choices=available_models())
-    sweep.add_argument("--knob", choices=sorted(KNOBS), default="rows")
+    sweep.add_argument("--knob", choices=sorted(KNOBS) + sorted(SCALE_KNOBS),
+                       default="rows")
     sweep.add_argument("--values", default="1,4,8,16",
                        help="comma-separated knob values")
     sweep.add_argument("--epochs", type=int, default=2)
     sweep.add_argument("--max-groups", type=int, default=48)
+    sweep.add_argument(
+        "--trace-max-batch", type=int, default=None,
+        help="traced samples kept per convolutional layer; raise to the "
+             "largest value when sweeping num_devices (default: 4)")
     _add_engine_arguments(sweep)
 
     explore = subparsers.add_parser(
@@ -331,6 +390,44 @@ def _command_roofline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_link_gbps(value: str) -> Optional[float]:
+    """``--link-gbps`` parsing: a positive float, or 'unbounded' -> None."""
+    text = value.strip().lower()
+    if text in ("unbounded", "inf", "infinite", "none"):
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        raise CliError(
+            f"--link-gbps expects a bandwidth in GB/s or 'unbounded', "
+            f"got {value!r}"
+        ) from None
+
+
+def _command_scale(args: argparse.Namespace) -> int:
+    from repro.api.schema import ScaleRequest
+    from repro.scale import ScalingReport, format_scaling_report
+
+    request = ScaleRequest(
+        model=args.model, epochs=args.epochs,
+        batches_per_epoch=args.batches_per_epoch, batch_size=args.batch_size,
+        max_groups=args.max_groups, datatype=args.datatype, seed=args.seed,
+        num_devices=args.devices, partition=args.partition,
+        link_gbps=_parse_link_gbps(args.link_gbps),
+        hop_latency_cycles=args.hop_latency_cycles,
+        trace_max_batch=args.trace_max_batch,
+    )
+    quiet = args.format == "json"
+    result = _session_for(args).submit(request, progress=None if quiet else print)
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    payload = result.result
+    print(format_scaling_report(ScalingReport.from_dict(payload.report)))
+    print(_engine_line(result))
+    return 0
+
+
 def _coerce_knob_value(value: str):
     """Parse one ``--values`` item into the type its knob expects.
 
@@ -362,6 +459,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     request = SweepRequest(
         model=args.model, knob=args.knob, values=values,
         epochs=args.epochs, max_groups=args.max_groups, seed=args.seed,
+        trace_max_batch=args.trace_max_batch,
     )
     result = _session_for(args).submit(request, progress=print)
     study = study_result_from_dict(result.result.study)
@@ -467,6 +565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_simulate(args)
         if args.command == "roofline":
             return _command_roofline(args)
+        if args.command == "scale":
+            return _command_scale(args)
         if args.command == "sweep":
             return _command_sweep(args)
         if args.command == "explore":

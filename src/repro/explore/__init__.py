@@ -41,6 +41,7 @@ from repro.explore.spec import (
     DEFAULT_OBJECTIVES,
     KNOBS,
     METRIC_ORIENTATIONS,
+    SCALE_KNOBS,
     DesignPoint,
     StudySpec,
     parse_objectives,
@@ -48,6 +49,7 @@ from repro.explore.spec import (
 from repro.explore.report import (
     format_frontier_table,
     format_points_table,
+    format_scaling_section,
     format_study_report,
     study_to_csv,
     study_to_dict,
@@ -58,6 +60,7 @@ __all__ = [
     "StudySpec",
     "DesignPoint",
     "KNOBS",
+    "SCALE_KNOBS",
     "METRIC_ORIENTATIONS",
     "DEFAULT_OBJECTIVES",
     "parse_objectives",
@@ -71,6 +74,7 @@ __all__ = [
     "format_study_report",
     "format_points_table",
     "format_frontier_table",
+    "format_scaling_section",
     "study_to_dict",
     "study_to_json",
     "study_to_csv",

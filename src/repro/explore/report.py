@@ -99,6 +99,43 @@ def format_roofline_section(result: StudyResult) -> Optional[str]:
     )
 
 
+def format_scaling_section(result: StudyResult) -> Optional[str]:
+    """Scaling-efficiency curve: one row per multi-device point.
+
+    Points carrying scaling knobs (``num_devices`` / ``partition`` /
+    ``link_gbps``) record their multi-device metrics; this section lists
+    them ordered by workload and device count, so a study sweeping
+    ``num_devices`` reads as the classic efficiency-vs-devices curve.
+    Returns ``None`` for single-chip-only studies.
+    """
+    rows = []
+    for point in result.points:
+        metrics = point.metrics
+        if "num_devices" not in metrics:
+            continue
+        rows.append(
+            [
+                point.workload,
+                point.scenario,
+                point.config_label,
+                int(metrics["num_devices"]),
+                metrics.get("scaled_speedup", 1.0),
+                metrics.get("scaling_efficiency", 1.0),
+                metrics.get("comm_fraction", 0.0),
+            ]
+        )
+    if not rows:
+        return None
+    rows.sort(key=lambda row: (row[0], row[1], row[3]))
+    return format_table(
+        "Scaling (speedup vs one device; efficiency vs ideal linear; "
+        "comm = stalled fraction)",
+        ["workload", "scenario", "configuration", "devices",
+         "speedup", "efficiency", "comm"],
+        rows,
+    )
+
+
 def format_study_report(
     result: StudyResult, names: Optional[Sequence[str]] = None
 ) -> str:
@@ -124,6 +161,9 @@ def format_study_report(
     roofline = format_roofline_section(result)
     if roofline is not None:
         lines.extend(["", roofline])
+    scaling = format_scaling_section(result)
+    if scaling is not None:
+        lines.extend(["", scaling])
     if result.resumed_points:
         lines.append(
             f"Resumed: {result.resumed_points} point(s) restored from the manifest."

@@ -242,6 +242,7 @@ class StudyRunner:
                     batches_per_epoch=spec.batches_per_epoch,
                     batch_size=spec.batch_size,
                     seed=spec.seed,
+                    trace_max_batch=spec.trace_max_batch,
                 )
         return self._traces[workload]
 
@@ -254,6 +255,14 @@ class StudyRunner:
             )
         return self._scenario_traces[key]
 
+    def _max_batch(self) -> int:
+        """Simulation-time batch clip honouring a raised trace cap."""
+        from repro.training.trainer import DEFAULT_TRACE_MAX_BATCH
+
+        if self.spec.trace_max_batch is None:
+            return DEFAULT_TRACE_MAX_BATCH
+        return max(DEFAULT_TRACE_MAX_BATCH, self.spec.trace_max_batch)
+
     def _runner_for(self, point: DesignPoint) -> ExperimentRunner:
         config = point.config()
         key = repr(config)
@@ -261,6 +270,7 @@ class StudyRunner:
             self._runners[key] = ExperimentRunner(
                 config,
                 max_groups=self.spec.max_groups,
+                max_batch=self._max_batch(),
                 backend=self.backend,
                 jobs=self.jobs,
                 cache_dir=self.cache_dir,
@@ -297,6 +307,9 @@ class StudyRunner:
             metrics["ridge_point"] = config.macs_per_cycle / bytes_per_cycle(
                 config.hierarchy.dram_bandwidth_gbps, config.frequency_mhz
             )
+        plan = point.scale_plan()
+        if plan is not None:
+            metrics.update(self._scale_metrics(point, runner, plan))
         return PointResult(
             point_id=point.point_id,
             workload=point.workload,
@@ -306,6 +319,49 @@ class StudyRunner:
             config_label=point.config_label,
             metrics=metrics,
         )
+
+    def _scale_metrics(
+        self, point: DesignPoint, runner: ExperimentRunner, plan: Dict
+    ) -> Dict[str, float]:
+        """Multi-device metrics for a point carrying scaling knobs.
+
+        The scale pass shares the point's engine, so the single-device
+        reference simulation is served from whatever cache stack the
+        study has (and re-simulated only on fully cache-less runners).
+        Absent plan entries default to one device, the ``data``
+        partition and the default interconnect; a ``link_gbps`` knob
+        swaps the link bandwidth but keeps the default hop latency.
+        """
+        from repro.scale import Interconnect, ScaleRunner
+
+        link = plan.get("link_gbps")
+        interconnect = (
+            Interconnect.default()
+            if link is None
+            else Interconnect(
+                link_gbps=float(link),
+                hop_latency_cycles=Interconnect.default().hop_latency_cycles,
+            )
+        )
+        scale_runner = ScaleRunner(
+            config=point.config(),
+            engine=runner.engine,
+            max_groups=self.spec.max_groups,
+            max_batch=self._max_batch(),
+        )
+        report = scale_runner.run(
+            self._scenario_trace(point.workload, point.scenario),
+            workload=point.workload,
+            num_devices=int(plan.get("num_devices", 1)),
+            partition=str(plan.get("partition", "data")),
+            interconnect=interconnect,
+        )
+        return {
+            "num_devices": float(report.num_devices),
+            "scaled_speedup": report.speedup,
+            "scaling_efficiency": report.efficiency,
+            "comm_fraction": report.comm_fraction,
+        }
 
     # ------------------------------------------------------------------
     def run(

@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import math
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -58,6 +59,48 @@ KNOBS: Dict[str, Callable[[AcceleratorConfig, object], AcceleratorConfig]] = {
     "sram_kb": lambda c, v: c.with_hierarchy(sram_kb=int(v)),
 }
 
+
+def _scale_num_devices(value) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(
+            f"num_devices values must be integers >= 1, got {value!r}"
+        )
+    return value
+
+
+def _scale_partition(value) -> str:
+    from repro.scale.partition import check_partition
+
+    if not isinstance(value, str):
+        raise ValueError(f"partition values must be strings, got {value!r}")
+    return check_partition(value)
+
+
+def _scale_link_gbps(value) -> float:
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+        or value <= 0
+    ):
+        raise ValueError(
+            f"link_gbps values must be positive finite numbers, got {value!r}"
+        )
+    return float(value)
+
+
+#: Multi-device scaling knobs (:mod:`repro.scale`): these shape how the
+#: workload is partitioned across devices, not the per-device hardware,
+#: so they are validated here but applied by the study runner's scale
+#: pass instead of :meth:`DesignPoint.config`.  Points carrying any of
+#: them additionally record ``num_devices`` / ``scaled_speedup`` /
+#: ``scaling_efficiency`` / ``comm_fraction`` metrics.
+SCALE_KNOBS: Dict[str, Callable[[object], object]] = {
+    "num_devices": _scale_num_devices,
+    "partition": _scale_partition,
+    "link_gbps": _scale_link_gbps,
+}
+
 #: Metrics a study records per point, with their optimisation direction.
 #: ``True`` means higher is better.
 METRIC_ORIENTATIONS: Dict[str, bool] = {
@@ -70,6 +113,11 @@ METRIC_ORIENTATIONS: Dict[str, bool] = {
     "dram_bytes": False,
     "memory_bound_fraction": False,
     "operational_intensity": True,
+    # Multi-device scaling metrics, recorded for points carrying any
+    # SCALE_KNOBS assignment.
+    "scaled_speedup": True,
+    "scaling_efficiency": True,
+    "comm_fraction": False,
 }
 
 #: The paper's three-way trade-off, the default frontier objectives.
@@ -134,11 +182,25 @@ class DesignPoint:
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     def config(self) -> AcceleratorConfig:
-        """The accelerator configuration with every knob applied."""
+        """The per-device accelerator configuration with every hardware
+        knob applied (scaling knobs shape the fleet, not the chip, and
+        are read through :meth:`scale_plan` instead)."""
         config = AcceleratorConfig()
         for name, value in self.knobs:
-            config = KNOBS[name](config, value)
+            if name in KNOBS:
+                config = KNOBS[name](config, value)
         return config
+
+    def scale_plan(self) -> Optional[Dict[str, object]]:
+        """The point's multi-device assignment, or ``None`` when single-chip.
+
+        A dict of the :data:`SCALE_KNOBS` this point carries
+        (``num_devices`` / ``partition`` / ``link_gbps``); the study
+        runner fills in the defaults (1 device, data partition, the
+        default interconnect) for whichever are absent.
+        """
+        plan = {name: value for name, value in self.knobs if name in SCALE_KNOBS}
+        return plan or None
 
     @property
     def config_label(self) -> str:
@@ -186,6 +248,11 @@ class StudySpec:
     batches_per_epoch: int = 2
     batch_size: int = 8
     max_groups: int = 48
+    #: Traced samples kept per convolutional layer (``None``: the
+    #: trainer's default of 4).  Studies sweeping ``num_devices`` past 4
+    #: should raise it to the largest device count so data-parallel
+    #: shards stay balanced.
+    trace_max_batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -202,9 +269,10 @@ class StudySpec:
                     f"unknown workload {workload!r}; known: {sorted(known_models)}"
                 )
         for knob, values in self.knobs.items():
-            if knob not in KNOBS:
+            if knob not in KNOBS and knob not in SCALE_KNOBS:
                 raise ValueError(
-                    f"unknown knob {knob!r}; known: {sorted(KNOBS)}"
+                    f"unknown knob {knob!r}; known: "
+                    f"{sorted(KNOBS) + sorted(SCALE_KNOBS)}"
                 )
             if not isinstance(values, (list, tuple)) or not values:
                 raise ValueError(
@@ -212,7 +280,10 @@ class StudySpec:
                 )
             for value in values:
                 try:
-                    KNOBS[knob](AcceleratorConfig(), value)
+                    if knob in KNOBS:
+                        KNOBS[knob](AcceleratorConfig(), value)
+                    else:
+                        SCALE_KNOBS[knob](value)
                 except (ValueError, TypeError, KeyError) as exc:
                     raise ValueError(
                         f"knob {knob!r}: invalid value {value!r}: {exc}"
@@ -233,6 +304,10 @@ class StudySpec:
         for name in ("epochs", "batches_per_epoch", "batch_size", "max_groups"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.trace_max_batch is not None and self.trace_max_batch < 1:
+            raise ValueError(
+                f"trace_max_batch must be >= 1, got {self.trace_max_batch}"
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -273,6 +348,7 @@ class StudySpec:
             "batches_per_epoch": self.batches_per_epoch,
             "batch_size": self.batch_size,
             "max_groups": self.max_groups,
+            "trace_max_batch": self.trace_max_batch,
         }
 
     def fingerprint(self) -> str:
@@ -286,19 +362,21 @@ class StudySpec:
         renaming a study, changing its frontier objectives or resuming a
         sampled subset of a finished study all reuse the manifest.
         """
-        payload = json.dumps(
-            {
-                "workloads": list(self.workloads),
-                "knobs": {k: list(self.knobs[k]) for k in sorted(self.knobs)},
-                "scenarios": list(self.scenarios),
-                "seed": self.seed,
-                "epochs": self.epochs,
-                "batches_per_epoch": self.batches_per_epoch,
-                "batch_size": self.batch_size,
-                "max_groups": self.max_groups,
-            },
-            sort_keys=True,
-        )
+        fields = {
+            "workloads": list(self.workloads),
+            "knobs": {k: list(self.knobs[k]) for k in sorted(self.knobs)},
+            "scenarios": list(self.scenarios),
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "batches_per_epoch": self.batches_per_epoch,
+            "batch_size": self.batch_size,
+            "max_groups": self.max_groups,
+        }
+        # Included only when set, so manifests written before the field
+        # existed keep resuming under the default trace cap.
+        if self.trace_max_batch is not None:
+            fields["trace_max_batch"] = self.trace_max_batch
+        payload = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
     # ------------------------------------------------------------------
@@ -351,6 +429,10 @@ class StudySpec:
             ("max_groups", self.max_groups),
             ("seed", self.seed),
         )
+        if self.trace_max_batch is not None:
+            # Appended only when set: point ids of pre-existing specs
+            # (and their resumable manifests) stay stable.
+            trace_params += (("trace_max_batch", self.trace_max_batch),)
         if self.mode == "random" and self.sample < self.space_size:
             rng = np.random.default_rng(self.seed)
             indices = sorted(

@@ -159,6 +159,7 @@ def trace_workload(
     batch_size: int = 8,
     seed: int = 0,
     learning_rate: float = 0.01,
+    trace_max_batch: Optional[int] = None,
 ):
     """Train a registered workload briefly and return its operand traces.
 
@@ -168,6 +169,11 @@ def trace_workload(
     :class:`~repro.training.tracing.TrainingTrace`.  The CLI, the
     benchmark harness and the design-space study runner all call this, so
     tracing defaults cannot drift between entry points.
+
+    ``trace_max_batch`` caps the samples kept per traced convolutional
+    layer (``None`` keeps the trainer's default of 4).  Multi-device
+    scaling runs raise it to the device count so data-parallel shards
+    stay balanced; everything else leaves it alone.
     """
     # Imported lazily: repro.training imports this module's datasets, so a
     # top-level import would be circular.
@@ -185,6 +191,11 @@ def trace_workload(
             batches_per_epoch=batches_per_epoch,
             batch_size=batch_size,
             learning_rate=learning_rate,
+            **(
+                {}
+                if trace_max_batch is None
+                else {"trace_max_batch": int(trace_max_batch)}
+            ),
         ),
         pruning_hook=build_pruning_hook(name, optimizer),
     )

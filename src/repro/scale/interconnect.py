@@ -1,0 +1,162 @@
+"""Device-to-device interconnect model for multi-accelerator scaling.
+
+The single-chip performance model (PR 3) charges every operation
+``max(compute, ceil(bytes / bytes-per-cycle))`` against the memory
+hierarchy.  Scaling a workload across several accelerator instances adds
+one more resource with exactly the same shape: the inter-device link.
+:class:`Interconnect` reuses the hierarchy's
+:func:`~repro.memory.hierarchy.bytes_per_cycle` conversion and prices the
+two traffic patterns the partitioning strategies generate:
+
+* point-to-point transfers (:meth:`transfer_cycles`) — activations
+  forward / activation-gradients backward across a pipeline-stage
+  boundary, charged a per-hop latency plus the serialisation time of the
+  bytes over one link;
+* ring all-reduce (:meth:`allreduce_cycles`) — the weight-gradient
+  exchange of data-parallel training: ``2 * (N - 1)`` steps, each moving
+  ``bytes / N`` per device over its link, plus one hop latency per step.
+
+Every limit is optional, mirroring :class:`MemoryHierarchy`: the
+all-``None``/zero default is an *ideal* interconnect (zero communication
+cycles), which is what makes the single-device degenerate case — and the
+``N=1, infinite link`` parity contract of :mod:`repro.scale` — exact by
+construction.  :meth:`Interconnect.default` models a commodity
+PCIe-class 25 GB/s link with a 1 µs (500-cycle at 500 MHz) hop latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.memory.hierarchy import bytes_per_cycle
+
+#: Link bandwidth of :meth:`Interconnect.default` in GB/s (PCIe-class).
+DEFAULT_LINK_GBPS = 25.0
+
+#: Per-hop latency of :meth:`Interconnect.default` in accelerator cycles
+#: (1 microsecond at the Table 2 machine's 500 MHz).
+DEFAULT_HOP_LATENCY_CYCLES = 500
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Bandwidth/latency limits of the device-to-device links.
+
+    Parameters
+    ----------
+    link_gbps:
+        Sustainable bandwidth of one device's link in GB/s; ``None``
+        means infinite (transfers cost only hop latency).
+    hop_latency_cycles:
+        Fixed cost in accelerator cycles for each traversed hop
+        (serialisation/switching latency).  ``0`` disables it.
+    """
+
+    link_gbps: Optional[float] = None
+    hop_latency_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.link_gbps is not None and (
+            not math.isfinite(self.link_gbps) or self.link_gbps <= 0
+        ):
+            # NaN passes ordering comparisons; an infinite link is
+            # spelled ``link_gbps=None``, not a float infinity.
+            raise ValueError(
+                f"link_gbps must be positive and finite, got {self.link_gbps}"
+            )
+        if self.hop_latency_cycles < 0:
+            raise ValueError(
+                f"hop_latency_cycles must be >= 0, got {self.hop_latency_cycles}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_unbounded(self) -> bool:
+        """True when communication is free (the ideal interconnect)."""
+        return self.link_gbps is None and self.hop_latency_cycles == 0
+
+    @classmethod
+    def unbounded(cls) -> "Interconnect":
+        """An ideal interconnect: every transfer costs zero cycles."""
+        return cls()
+
+    @classmethod
+    def default(cls) -> "Interconnect":
+        """The default commodity link: 25 GB/s, 500-cycle hops."""
+        return cls(
+            link_gbps=DEFAULT_LINK_GBPS,
+            hop_latency_cycles=DEFAULT_HOP_LATENCY_CYCLES,
+        )
+
+    # ------------------------------------------------------------------
+    def transfer_cycles(
+        self, nbytes: int, frequency_mhz: float, hops: int = 1
+    ) -> int:
+        """Cycles to move ``nbytes`` point-to-point across ``hops`` links."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0
+        cycles = hops * self.hop_latency_cycles
+        if self.link_gbps is not None:
+            cycles += math.ceil(
+                nbytes / bytes_per_cycle(self.link_gbps, frequency_mhz)
+            )
+        return cycles
+
+    def allreduce_cycles(
+        self, nbytes: int, num_devices: int, frequency_mhz: float
+    ) -> int:
+        """Cycles for a ring all-reduce of ``nbytes`` across the devices.
+
+        The standard bandwidth-optimal ring: ``2 * (N - 1)`` steps
+        (reduce-scatter then all-gather), each step moving ``nbytes / N``
+        over every device's link simultaneously, plus one hop latency per
+        step.  ``N <= 1`` — and any transfer over an unbounded
+        interconnect — costs zero cycles.
+        """
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        if num_devices == 1 or nbytes == 0:
+            return 0
+        steps = 2 * (num_devices - 1)
+        cycles = steps * self.hop_latency_cycles
+        if self.link_gbps is not None:
+            per_step_bytes = nbytes / num_devices
+            cycles += math.ceil(
+                steps * per_step_bytes
+                / bytes_per_cycle(self.link_gbps, frequency_mhz)
+            )
+        return cycles
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable one-line summary for reports."""
+        if self.is_unbounded:
+            return "ideal (unbounded)"
+        parts = []
+        if self.link_gbps is not None:
+            parts.append(f"{self.link_gbps:g} GB/s links")
+        else:
+            parts.append("unbounded links")
+        parts.append(f"{self.hop_latency_cycles}-cycle hops")
+        return ", ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form embedded in scaling reports."""
+        return {
+            "link_gbps": self.link_gbps,
+            "hop_latency_cycles": self.hop_latency_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Interconnect":
+        """Rebuild from an :meth:`as_dict` document (unknown keys ignored)."""
+        link = payload.get("link_gbps")
+        hops = payload.get("hop_latency_cycles", 0)
+        return cls(
+            link_gbps=float(link) if link is not None else None,
+            hop_latency_cycles=int(hops) if hops else 0,
+        )

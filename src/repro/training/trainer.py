@@ -27,6 +27,13 @@ class BatchSampler(Protocol):
         ...
 
 
+#: Samples kept per traced convolutional layer unless a caller raises
+#: the cap (multi-device scaling does, so data-parallel shards balance).
+#: Referenced by the session/study layers so their simulation-time batch
+#: clip can never drift from what the trainer actually traced.
+DEFAULT_TRACE_MAX_BATCH = 4
+
+
 @dataclass
 class TrainingConfig:
     """Hyperparameters of one training run."""
@@ -36,7 +43,7 @@ class TrainingConfig:
     batch_size: int = 8
     learning_rate: float = 0.01
     trace_masks: bool = True
-    trace_max_batch: int = 4
+    trace_max_batch: int = DEFAULT_TRACE_MAX_BATCH
     seed: int = 0
 
 

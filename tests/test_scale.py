@@ -1,0 +1,419 @@
+"""Tests for the multi-device scaling subsystem (:mod:`repro.scale`).
+
+The load-bearing contracts:
+
+* **single-device parity** — one device with an unbounded interconnect
+  (and, since a single device never communicates, with any interconnect)
+  reproduces plain single-accelerator simulation bit-exactly;
+* **monotonicity** — scaling efficiency never exceeds 1.0, and shrinking
+  the link bandwidth never improves it;
+* **schema round-trip** — ``ScaleRequest`` / ``ScaleResult`` obey the
+  same dict/JSON round-trip contract as every other api type;
+* **integration** — the session handler, the batch service route and the
+  explore knobs all reach the same model.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.schema import (
+    ApiResult,
+    ScaleRequest,
+    ScaleResult,
+    SchemaError,
+    request_from_dict,
+)
+from repro.core.config import AcceleratorConfig
+from repro.models.registry import trace_workload
+from repro.scale import (
+    Interconnect,
+    ScaleRunner,
+    ScalingReport,
+    check_partition,
+    partition_data,
+    partition_pipeline,
+    stage_boundary_bytes,
+    weight_gradient_bytes,
+)
+from repro.simulation.runner import ExperimentRunner
+
+MODEL = "snli"
+EPOCHS = 1
+BATCHES = 1
+BATCH_SIZE = 4
+MAX_GROUPS = 32
+
+
+@pytest.fixture(scope="module")
+def epoch_trace():
+    trace = trace_workload(MODEL, epochs=EPOCHS, batches_per_epoch=BATCHES,
+                           batch_size=BATCH_SIZE, seed=0)
+    return trace.final_epoch()
+
+
+@pytest.fixture(scope="module")
+def scale_runner():
+    return ScaleRunner(AcceleratorConfig(), max_groups=MAX_GROUPS)
+
+
+class TestInterconnect:
+    def test_unbounded_costs_nothing(self):
+        link = Interconnect.unbounded()
+        assert link.is_unbounded
+        assert link.transfer_cycles(10 ** 9, 500.0) == 0
+        assert link.allreduce_cycles(10 ** 9, 8, 500.0) == 0
+
+    def test_transfer_charges_bandwidth_and_hops(self):
+        link = Interconnect(link_gbps=25.0, hop_latency_cycles=100)
+        # 25 GB/s at 500 MHz = 50 bytes per cycle.
+        assert link.transfer_cycles(5000, 500.0) == 100 + 100
+        assert link.transfer_cycles(5000, 500.0, hops=3) == 300 + 100
+        assert link.transfer_cycles(0, 500.0) == 0
+
+    def test_allreduce_ring_volume(self):
+        link = Interconnect(link_gbps=25.0, hop_latency_cycles=0)
+        # 4 devices, 1000 bytes: 6 steps x 250 bytes / 50 B-per-cycle.
+        assert link.allreduce_cycles(1000, 4, 500.0) == 30
+        assert link.allreduce_cycles(1000, 1, 500.0) == 0
+
+    def test_allreduce_monotone_in_bandwidth(self):
+        slow = Interconnect(link_gbps=1.0).allreduce_cycles(10 ** 6, 4, 500.0)
+        fast = Interconnect(link_gbps=100.0).allreduce_cycles(10 ** 6, 4, 500.0)
+        assert slow > fast > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interconnect(link_gbps=0)
+        with pytest.raises(ValueError):
+            Interconnect(hop_latency_cycles=-1)
+        # NaN passes ordering comparisons; an infinite link is spelled
+        # link_gbps=None.  Both must be rejected, not crash later.
+        with pytest.raises(ValueError):
+            Interconnect(link_gbps=float("nan"))
+        with pytest.raises(ValueError):
+            Interconnect(link_gbps=float("inf"))
+
+    def test_dict_round_trip(self):
+        for link in (Interconnect.unbounded(), Interconnect.default(),
+                     Interconnect(link_gbps=3.5, hop_latency_cycles=7)):
+            assert Interconnect.from_dict(link.as_dict()) == link
+
+    def test_describe(self):
+        assert Interconnect.unbounded().describe() == "ideal (unbounded)"
+        assert "25 GB/s" in Interconnect.default().describe()
+
+
+class TestPartition:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            check_partition("tensor")
+
+    def test_single_device_returns_original_trace(self, epoch_trace):
+        assert partition_data(epoch_trace, 1)[0] is epoch_trace
+        assert partition_pipeline(epoch_trace, 1)[0] is epoch_trace
+
+    def test_data_shards_preserve_every_sample(self, epoch_trace):
+        shards = partition_data(epoch_trace, 2)
+        assert len(shards) == 2
+        for layer in epoch_trace.layers:
+            if layer.activation_mask is None:
+                continue
+            pieces = [
+                shard_layer.activation_mask
+                for shard in shards
+                for shard_layer in shard.layers
+                if shard_layer.layer_name == layer.layer_name
+            ]
+            rebuilt = np.concatenate(pieces, axis=0)
+            np.testing.assert_array_equal(rebuilt, layer.activation_mask)
+
+    def test_data_more_devices_than_samples_leaves_idle_shards(self, epoch_trace):
+        batch = epoch_trace.layers[0].activation_mask.shape[0]
+        shards = partition_data(epoch_trace, batch + 3)
+        busy = [shard for shard in shards if shard.layers]
+        assert len(busy) == batch
+
+    def test_pipeline_stages_are_contiguous_and_cover(self, epoch_trace):
+        stages = partition_pipeline(epoch_trace, 3)
+        assert len(stages) == 3
+        names = [layer.layer_name for stage in stages for layer in stage.layers]
+        assert names == [layer.layer_name for layer in epoch_trace.layers]
+
+    def test_weight_gradient_bytes_counts_every_parameter(self, epoch_trace):
+        expected = sum(
+            layer.weight_mask.size
+            for layer in epoch_trace.layers
+            if layer.weight_mask is not None
+        )
+        assert weight_gradient_bytes(epoch_trace, 4) == expected * 4
+
+    def test_stage_boundary_bytes(self, epoch_trace):
+        stages = partition_pipeline(epoch_trace, 2)
+        boundaries = stage_boundary_bytes(stages, 4)
+        assert len(boundaries) == 1
+        first_downstream = stages[1].layers[0]
+        assert boundaries[0] == first_downstream.activation_mask.size * 4
+
+
+class TestSingleDeviceParity:
+    """N=1 must be bit-identical to plain single-accelerator simulation."""
+
+    @pytest.mark.parametrize("partition", ["data", "pipeline"])
+    @pytest.mark.parametrize(
+        "interconnect", [Interconnect.unbounded(), Interconnect.default()],
+        ids=["unbounded", "default-link"],
+    )
+    def test_one_device_matches_plain_simulation(
+        self, epoch_trace, scale_runner, partition, interconnect
+    ):
+        plain = ExperimentRunner(
+            AcceleratorConfig(), max_groups=MAX_GROUPS
+        ).run_epoch(MODEL, epoch_trace).cycles()
+        report = scale_runner.run(
+            epoch_trace, workload=MODEL, num_devices=1,
+            partition=partition, interconnect=interconnect,
+        )
+        assert report.scaled_cycles == plain["tensordash"]
+        assert report.single_device_cycles == plain["tensordash"]
+        assert report.single_device_baseline_cycles == plain["baseline"]
+        assert report.comm_stall_cycles == 0
+        assert report.speedup == 1.0
+        assert report.efficiency == 1.0
+        assert report.bound == "compute"
+
+    def test_one_device_shard_is_pure_cache_reuse(self, epoch_trace):
+        runner = ScaleRunner(AcceleratorConfig(), max_groups=MAX_GROUPS)
+        runner.run(epoch_trace, num_devices=1)
+        stats = runner.engine.stats
+        # The reference pass simulates every layer once; the single
+        # shard (the same trace object) is served from the memo.
+        assert stats.layers_simulated == len(epoch_trace.layers)
+        assert stats.cache_hits >= len(epoch_trace.layers)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("partition", ["data", "pipeline"])
+    @pytest.mark.parametrize("devices", [1, 2, 4])
+    def test_efficiency_never_exceeds_one(
+        self, epoch_trace, scale_runner, partition, devices
+    ):
+        report = scale_runner.run(
+            epoch_trace, num_devices=devices, partition=partition,
+            interconnect=Interconnect.unbounded(),
+        )
+        assert 0.0 < report.efficiency <= 1.0
+
+    @pytest.mark.parametrize("partition", ["data", "pipeline"])
+    def test_efficiency_non_increasing_with_finite_link(
+        self, epoch_trace, scale_runner, partition
+    ):
+        links = [
+            Interconnect.unbounded(),
+            Interconnect(link_gbps=100.0, hop_latency_cycles=100),
+            Interconnect(link_gbps=25.0, hop_latency_cycles=500),
+            Interconnect(link_gbps=1.0, hop_latency_cycles=500),
+        ]
+        efficiencies = [
+            scale_runner.run(
+                epoch_trace, num_devices=2, partition=partition,
+                interconnect=link,
+            ).efficiency
+            for link in links
+        ]
+        assert all(
+            earlier >= later
+            for earlier, later in zip(efficiencies, efficiencies[1:])
+        )
+        # A badly starved link must actually expose communication.
+        report = scale_runner.run(
+            epoch_trace, num_devices=2, partition=partition,
+            interconnect=links[-1],
+        )
+        assert report.comm_stall_cycles > 0
+        assert report.bound == "interconnect"
+
+    def test_comm_fraction_within_bounds(self, epoch_trace, scale_runner):
+        report = scale_runner.run(
+            epoch_trace, num_devices=4, partition="data",
+            interconnect=Interconnect(link_gbps=0.5, hop_latency_cycles=500),
+        )
+        assert 0.0 <= report.comm_fraction <= 1.0
+
+
+class TestScalingReport:
+    def test_dict_round_trip(self, epoch_trace, scale_runner):
+        report = scale_runner.run(
+            epoch_trace, workload=MODEL, num_devices=2, partition="data",
+        )
+        rebuilt = ScalingReport.from_dict(
+            json.loads(json.dumps(report.as_dict()))
+        )
+        assert rebuilt == report
+        assert rebuilt.efficiency == report.efficiency
+
+    def test_device_rows_and_verdicts(self, epoch_trace, scale_runner):
+        report = scale_runner.run(epoch_trace, num_devices=2, partition="data")
+        assert len(report.devices) == 2
+        for device in report.devices:
+            assert device.total_cycles == max(
+                device.compute_cycles, device.comm_cycles
+            )
+            assert device.bound in ("compute", "link")
+
+
+class TestSchema:
+    def test_request_round_trip(self):
+        request = ScaleRequest(
+            model=MODEL, epochs=1, num_devices=4, partition="pipeline",
+            link_gbps=12.5, hop_latency_cycles=64, trace_max_batch=8,
+        )
+        assert ScaleRequest.from_dict(request.to_dict()) == request
+        wire = json.dumps(request.to_dict())
+        assert request_from_dict(json.loads(wire)) == request
+
+    def test_request_unbounded_link_round_trip(self):
+        request = ScaleRequest(
+            model=MODEL, link_gbps=None, hop_latency_cycles=0
+        )
+        rebuilt = ScaleRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert rebuilt.link_gbps is None
+
+    def test_result_round_trip(self, epoch_trace, scale_runner):
+        report = scale_runner.run(epoch_trace, workload=MODEL, num_devices=2)
+        result = ScaleResult(
+            model=MODEL, config="cfg", partition="data", num_devices=2,
+            link=report.interconnect.describe(), speedup=report.speedup,
+            efficiency=report.efficiency, comm_fraction=report.comm_fraction,
+            single_device_cycles=report.single_device_cycles,
+            scaled_cycles=report.scaled_cycles, report=report.as_dict(),
+        )
+        assert ScaleResult.from_dict(json.loads(json.dumps(result.to_dict()))) == result
+
+    @pytest.mark.parametrize(
+        "overrides, field",
+        [
+            ({"num_devices": 0}, "ScaleRequest.num_devices"),
+            ({"num_devices": "two"}, "ScaleRequest.num_devices"),
+            ({"partition": "tensor"}, "ScaleRequest.partition"),
+            ({"link_gbps": -1.0}, "ScaleRequest.link_gbps"),
+            ({"link_gbps": float("nan")}, "ScaleRequest.link_gbps"),
+            ({"hop_latency_cycles": -5}, "ScaleRequest.hop_latency_cycles"),
+            ({"trace_max_batch": 0}, "ScaleRequest.trace_max_batch"),
+            ({"model": "not-a-model"}, "ScaleRequest.model"),
+        ],
+    )
+    def test_validation_names_the_bad_field(self, overrides, field):
+        payload = ScaleRequest(model=MODEL).to_dict()
+        payload.update(overrides)
+        with pytest.raises(SchemaError) as excinfo:
+            ScaleRequest.from_dict(payload)
+        assert excinfo.value.field == field
+
+
+class TestSessionIntegration:
+    @pytest.fixture(scope="class")
+    def session(self):
+        from repro.api.session import Session
+
+        return Session()
+
+    def test_submit_returns_scale_envelope(self, session):
+        result = session.scale(
+            MODEL, epochs=EPOCHS, batches_per_epoch=BATCHES,
+            batch_size=BATCH_SIZE, max_groups=MAX_GROUPS, num_devices=2,
+        )
+        assert isinstance(result, ApiResult)
+        assert result.kind == "scale"
+        assert isinstance(result.result, ScaleResult)
+        assert result.result.num_devices == 2
+        assert result.result.report["devices"]
+        # The envelope round-trips through JSON like every other kind.
+        assert ApiResult.from_dict(json.loads(json.dumps(result.to_dict())))
+
+    def test_warm_session_resimulates_nothing(self, session):
+        params = dict(
+            epochs=EPOCHS, batches_per_epoch=BATCHES,
+            batch_size=BATCH_SIZE, max_groups=MAX_GROUPS, num_devices=2,
+        )
+        session.scale(MODEL, **params)
+        again = session.scale(MODEL, **params)
+        assert again.engine["layers_simulated"] == 0
+        assert again.engine["cache_hits"] > 0
+
+    def test_parity_against_simulate_through_the_session(self, session):
+        scale = session.scale(
+            MODEL, epochs=EPOCHS, batches_per_epoch=BATCHES,
+            batch_size=BATCH_SIZE, max_groups=MAX_GROUPS,
+            num_devices=1, link_gbps=None, hop_latency_cycles=0,
+        )
+        report = ScalingReport.from_dict(scale.result.report)
+        assert report.scaled_cycles == report.single_device_cycles
+        assert scale.result.efficiency == 1.0
+
+
+class TestExploreIntegration:
+    def test_scale_knobs_validate(self):
+        from repro.explore.spec import StudySpec
+
+        spec = StudySpec(
+            workloads=[MODEL],
+            knobs={"num_devices": [1, 2], "partition": ["data"]},
+            epochs=1, batches_per_epoch=1, batch_size=4, max_groups=8,
+        )
+        points = spec.expand()
+        assert len(points) == 2
+        # Scaling knobs never touch the per-device hardware config.
+        assert points[0].config() == AcceleratorConfig()
+        assert points[1].scale_plan() == {"num_devices": 2, "partition": "data"}
+
+    @pytest.mark.parametrize(
+        "knobs, message",
+        [
+            ({"num_devices": [0]}, "num_devices"),
+            ({"partition": ["tensor"]}, "partition"),
+            ({"link_gbps": [-2]}, "link_gbps"),
+            ({"link_gbps": [float("nan")]}, "link_gbps"),
+            ({"warp_drive": [1]}, "unknown knob"),
+        ],
+    )
+    def test_bad_scale_knobs_rejected(self, knobs, message):
+        from repro.explore.spec import StudySpec
+
+        with pytest.raises(ValueError, match=message):
+            StudySpec(workloads=[MODEL], knobs=knobs)
+
+    def test_study_records_scaling_metrics(self, tmp_path):
+        from repro.explore.report import format_study_report
+        from repro.explore.runner import StudyRunner
+        from repro.explore.spec import StudySpec
+
+        spec = StudySpec(
+            name="scale-study",
+            workloads=[MODEL],
+            knobs={"num_devices": [1, 2]},
+            objectives=["scaled_speedup", "scaling_efficiency", "comm_fraction"],
+            epochs=1, batches_per_epoch=1, batch_size=4, max_groups=8,
+        )
+        study = StudyRunner(spec).run()
+        for point, devices in zip(study.points, (1, 2)):
+            assert point.metrics["num_devices"] == float(devices)
+            assert 0.0 < point.metrics["scaling_efficiency"] <= 1.0
+        report = format_study_report(study)
+        assert "Scaling (speedup vs one device" in report
+
+    def test_trace_max_batch_is_fingerprinted_only_when_set(self):
+        from repro.explore.spec import StudySpec
+
+        base = StudySpec(workloads=[MODEL])
+        raised = StudySpec(workloads=[MODEL], trace_max_batch=8)
+        assert base.fingerprint() != raised.fingerprint()
+        assert base.trace_max_batch is None
+
+
+class TestServiceRoute:
+    def test_scale_route_is_registered(self):
+        from repro.api.service import POST_ROUTES
+
+        assert POST_ROUTES["/v1/scale"] == "scale"

@@ -1,0 +1,98 @@
+"""Golden and behavioural tests for the ``repro scale`` CLI subcommand.
+
+The golden comparison freezes the scale command's wiring the same way
+``test_cli_golden.py`` does for the other subcommands: the expected text
+is rendered by driving :class:`ScaleRunner` directly, and the real CLI —
+which routes through :meth:`Session.submit` — must reproduce it byte for
+byte.
+"""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.analysis.reporting import format_engine_stats
+from repro.cli import main
+from repro.core.config import AcceleratorConfig
+from repro.models.registry import trace_workload
+from repro.scale import Interconnect, ScaleRunner, format_scaling_report
+
+MODEL = "snli"
+EPOCHS = 1
+BATCHES = 1
+BATCH_SIZE = 4
+MAX_GROUPS = 8
+DEVICES = 2
+
+
+def _golden_scale() -> str:
+    """The scale command's output rendered without the Session layer."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        config = AcceleratorConfig().with_pe(datatype="fp32")
+        interconnect = Interconnect(link_gbps=25.0, hop_latency_cycles=500)
+        print(f"Accelerator: {config.describe()}")
+        print(f"Scaling: {DEVICES} device(s), data partition, "
+              f"{interconnect.describe()}")
+        print(f"Training {MODEL} for {EPOCHS} epoch(s)...")
+        trace = trace_workload(
+            MODEL, epochs=EPOCHS, batches_per_epoch=BATCHES,
+            batch_size=BATCH_SIZE, seed=0,
+        )
+        runner = ScaleRunner(config, max_groups=MAX_GROUPS)
+        report = runner.run(
+            trace.final_epoch(), workload=MODEL, num_devices=DEVICES,
+            partition="data", interconnect=interconnect,
+        )
+        print(format_scaling_report(report))
+        print(format_engine_stats(runner.engine.stats))
+    return buffer.getvalue()
+
+
+class TestScaleGolden:
+    def test_scale_output_is_byte_identical(self, capsys):
+        golden = _golden_scale()
+        assert main([
+            "scale", MODEL, "--devices", str(DEVICES),
+            "--epochs", str(EPOCHS), "--batches-per-epoch", str(BATCHES),
+            "--batch-size", str(BATCH_SIZE), "--max-groups", str(MAX_GROUPS),
+        ]) == 0
+        assert capsys.readouterr().out == golden
+
+
+class TestScaleCli:
+    def test_single_device_reports_perfect_efficiency(self, capsys):
+        assert main([
+            "scale", MODEL, "--devices", "1",
+            "--link-gbps", "unbounded", "--hop-latency-cycles", "0",
+            "--epochs", str(EPOCHS), "--batches-per-epoch", str(BATCHES),
+            "--batch-size", str(BATCH_SIZE), "--max-groups", str(MAX_GROUPS),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Scaling efficiency:     100.0%" in out
+        assert "ideal (unbounded)" in out
+
+    def test_json_format_emits_the_result_envelope(self, capsys):
+        assert main([
+            "scale", MODEL, "--devices", "2", "--partition", "pipeline",
+            "--format", "json",
+            "--epochs", str(EPOCHS), "--batches-per-epoch", str(BATCHES),
+            "--batch-size", str(BATCH_SIZE), "--max-groups", str(MAX_GROUPS),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "scale"
+        assert payload["result"]["partition"] == "pipeline"
+        assert payload["result"]["num_devices"] == 2
+        assert len(payload["result"]["report"]["devices"]) == 2
+
+    def test_bad_link_bandwidth_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scale", MODEL, "--link-gbps", "fast"])
+        assert excinfo.value.code == 2
+
+    def test_bad_partition_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scale", MODEL, "--partition", "tensor"])
+        assert excinfo.value.code == 2
