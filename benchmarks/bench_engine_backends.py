@@ -4,19 +4,34 @@ Trains the scaled ResNet-50 workload briefly, then simulates its final
 epoch trace through each registered backend (``reference``,
 ``vectorized``, ``parallel``) with identical sampling parameters, checks
 that every backend is bit-identical to the reference oracle, and measures
-the cold/warm behaviour of the on-disk result cache.
+the cold/warm behaviour of both the on-disk result cache and the
+cross-process shared memo tier (two distinct worker processes share one
+``shared_dir``; the second must re-simulate nothing).
 
 Results are printed as a table and emitted to ``BENCH_engine.json`` at
-the repository root so speedups are tracked across revisions.
+the repository root, including a per-layer timing breakdown and the
+parallel backend's shard plan so future regressions are attributable,
+not just visible.  The emitted ``perf_gate`` block records the speedup
+floors CI enforces.
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_engine_backends.py
+
+CI perf-gate mode (reduced trace, ratio-based so it is robust to runner
+speed; the floor comes from the committed BENCH_engine.json)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_backends.py --check
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
+import pickle
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -30,11 +45,41 @@ from repro.engine import SimulationEngine
 #: clock and the batched numpy kernels have a real batch to amortise over.
 MAX_GROUPS = 512
 WORKLOAD = "resnet50"
+#: Parallel worker count for the headline number (the PR's acceptance
+#: criterion is phrased at 8 jobs).
+PARALLEL_JOBS = 8
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 #: The vectorized backend must beat the reference path by at least this
-#: factor (the PR's acceptance criterion); the run fails otherwise so a
-#: performance regression turns CI red instead of hiding in the artifact.
-MIN_VECTORIZED_SPEEDUP = 3.0
+#: factor on the full trace; the run fails otherwise so a performance
+#: regression turns CI red instead of hiding in the artifact.
+MIN_VECTORIZED_SPEEDUP = 10.0
+#: Parallel must beat vectorized by this factor at 8 jobs — only
+#: enforceable on machines with enough cores to host the workers.
+MIN_PARALLEL_RATIO = 2.0
+PARALLEL_GATE_MIN_CPUS = 8
+
+#: Reduced configuration for the CI perf-gate step (--check): a smaller
+#: workload and batch so the gate costs seconds, compared ratio-against-
+#: ratio with the floor recorded in the committed BENCH_engine.json.
+CHECK_WORKLOAD = "squeezenet"
+CHECK_MAX_GROUPS = 64
+#: Floor for the reduced gate (recorded into BENCH_engine.json; also the
+#: fallback when the artifact predates it).  Measured ~11x on a 1-CPU
+#: container, so 5x leaves a 2x margin for slower/noisier runners.
+CHECK_FLOOR_FALLBACK = 5.0
+
+#: Subprocess body for the shared-tier check: loads pickled layers, runs
+#: one engine against the shared tier, reports its stats as JSON.
+_SHARED_TIER_WORKER = """
+import json, pickle, sys
+from repro.engine import SimulationEngine
+layers = pickle.load(open(sys.argv[1], "rb"))
+engine = SimulationEngine(backend="vectorized", shared_dir=sys.argv[2],
+                          max_groups=int(sys.argv[3]))
+engine.simulate_layers(layers)
+print(json.dumps({"layers_simulated": engine.stats.layers_simulated,
+                  "shared_hits": engine.stats.shared_hits}))
+"""
 
 
 def _identical(lhs, rhs) -> bool:
@@ -46,24 +91,115 @@ def _identical(lhs, rhs) -> bool:
     return True
 
 
+def _shared_tier_check(layers) -> dict:
+    """Run two *distinct processes* against one shared tier in sequence.
+
+    The first populates it; the second must re-simulate zero layers.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    with tempfile.TemporaryDirectory() as tmp:
+        layers_file = Path(tmp) / "layers.pkl"
+        layers_file.write_bytes(pickle.dumps(list(layers)))
+        shared_dir = Path(tmp) / "shared"
+        runs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", _SHARED_TIER_WORKER,
+                 str(layers_file), str(shared_dir), str(MAX_GROUPS)],
+                capture_output=True, text=True, env=env, check=False,
+            )
+            if proc.returncode != 0:
+                raise AssertionError(
+                    f"shared-tier worker failed: {proc.stderr[-2000:]}"
+                )
+            runs.append(json.loads(proc.stdout))
+    first, second = runs
+    if second["layers_simulated"] != 0:
+        raise AssertionError(
+            f"warm shared-tier process re-simulated "
+            f"{second['layers_simulated']} layers"
+        )
+    return {
+        "first_process_layers_simulated": first["layers_simulated"],
+        "second_process_layers_simulated": second["layers_simulated"],
+        "second_process_shared_hits": second["shared_hits"],
+        "distinct_processes": True,
+    }
+
+
+def run_check() -> int:
+    """CI perf gate: reduced trace, ratio compared against the recorded floor."""
+    print_header(
+        "Engine perf gate (reduced trace)",
+        "Ratio-based regression gate: vectorized vs reference on a small "
+        "workload, floor from the committed BENCH_engine.json",
+    )
+    floor = CHECK_FLOOR_FALLBACK
+    try:
+        recorded = json.loads(OUTPUT.read_text())
+        floor = float(recorded["perf_gate"]["reduced_min_vectorized_speedup"])
+    except (OSError, KeyError, ValueError):
+        print(f"no recorded floor found; using fallback {floor}x")
+    trace = get_trace(CHECK_WORKLOAD, epochs=1)
+    layers = trace.final_epoch().layers
+
+    timings = {}
+    results = {}
+    for backend in ("reference", "vectorized"):
+        # Best of three: the vectorized pass is fast enough that a single
+        # sample is dominated by allocator/page-cache noise.
+        best = float("inf")
+        for _ in range(3):
+            engine = SimulationEngine(backend=backend,
+                                      max_groups=CHECK_MAX_GROUPS)
+            start = time.perf_counter()
+            results[backend] = engine.simulate_layers(layers)
+            best = min(best, time.perf_counter() - start)
+        timings[backend] = best
+    if not _identical(results["vectorized"], results["reference"]):
+        raise AssertionError("vectorized diverged from the reference oracle")
+    ratio = timings["reference"] / timings["vectorized"]
+    print(f"{CHECK_WORKLOAD} (max_groups={CHECK_MAX_GROUPS}): "
+          f"reference {timings['reference']:.3f}s, "
+          f"vectorized {timings['vectorized']:.3f}s -> {ratio:.2f}x "
+          f"(floor: {floor}x)")
+    if ratio < floor:
+        raise AssertionError(
+            f"vectorized backend is only {ratio:.2f}x the reference path "
+            f"on the reduced trace (required: >= {floor}x)"
+        )
+    print("perf gate passed")
+    return 0
+
+
 def main() -> int:
     print_header(
         "Simulation-engine backend comparison",
         "Engine microbenchmark (no paper figure): reference vs vectorized "
-        "vs parallel, plus result-cache effectiveness",
+        "vs parallel, plus result-cache and shared-tier effectiveness",
     )
     trace = get_trace(WORKLOAD, epochs=1)
     layers = trace.final_epoch().layers
+    cpu_count = os.cpu_count() or 1
     print(f"Workload: {WORKLOAD}, {len(layers)} traced layers, "
-          f"max_groups={MAX_GROUPS}")
+          f"max_groups={MAX_GROUPS}, cpus={cpu_count}")
 
     timings = {}
     results = {}
-    for backend in ("reference", "vectorized", "parallel"):
-        engine = SimulationEngine(backend=backend, max_groups=MAX_GROUPS)
+    shard_info = {}
+    for backend, jobs in (
+        ("reference", None), ("vectorized", None), ("parallel", PARALLEL_JOBS)
+    ):
+        engine = SimulationEngine(backend=backend, jobs=jobs,
+                                  max_groups=MAX_GROUPS)
         start = time.perf_counter()
         results[backend] = engine.simulate_layers(layers)
         timings[backend] = time.perf_counter() - start
+        if backend == "parallel":
+            shard_info = dict(getattr(engine.backend, "last_shard_info", {}))
 
     bit_identical = all(
         _identical(results[backend], results["reference"])
@@ -71,6 +207,18 @@ def main() -> int:
     )
     if not bit_identical:
         raise AssertionError("a backend diverged from the reference oracle")
+
+    # Per-layer attribution (vectorized, one layer at a time).
+    simulator = SimulationEngine(backend="vectorized",
+                                 max_groups=MAX_GROUPS).simulator
+    per_layer = []
+    for layer in layers:
+        start = time.perf_counter()
+        simulator.simulate_layer(layer)
+        per_layer.append({
+            "layer": layer.layer_name,
+            "seconds": round(time.perf_counter() - start, 4),
+        })
 
     # Cache behaviour: cold run populates, warm run must re-simulate nothing.
     with tempfile.TemporaryDirectory() as cache_dir:
@@ -92,6 +240,9 @@ def main() -> int:
         if not _identical(warm_results, results["vectorized"]):
             raise AssertionError("cached results diverged from fresh results")
 
+    # Shared memo tier across two distinct worker processes.
+    shared_tier = _shared_tier_check(layers)
+
     reference_seconds = timings["reference"]
     rows = [
         [name, seconds, reference_seconds / seconds if seconds else float("inf")]
@@ -105,11 +256,17 @@ def main() -> int:
         rows,
     ))
 
+    parallel_ratio = (
+        timings["vectorized"] / timings["parallel"]
+        if timings["parallel"] else float("inf")
+    )
+    parallel_gate_enforced = cpu_count >= PARALLEL_GATE_MIN_CPUS
     payload = {
         "benchmark": "engine_backends",
         "workload": WORKLOAD,
         "traced_layers": len(layers),
         "max_groups": MAX_GROUPS,
+        "cpu_count": cpu_count,
         "backends": {
             name: {
                 "seconds": round(seconds, 4),
@@ -118,12 +275,28 @@ def main() -> int:
             }
             for name, seconds in timings.items()
         },
+        "parallel": {
+            "jobs": PARALLEL_JOBS,
+            "ratio_vs_vectorized": round(parallel_ratio, 3),
+            "gate_enforced": parallel_gate_enforced,
+            **shard_info,
+        },
+        "per_layer_seconds": sorted(per_layer, key=lambda r: -r["seconds"]),
         "cache": {
             "cold_seconds": round(cold_seconds, 4),
             "warm_seconds": round(warm_seconds, 4),
             "warm_cache_hits": warm_engine.stats.cache_hits,
             "warm_cache_misses": warm_engine.stats.cache_misses,
             "warm_layers_resimulated": warm_engine.stats.layers_simulated,
+        },
+        "shared_tier": shared_tier,
+        "perf_gate": {
+            "min_vectorized_speedup": MIN_VECTORIZED_SPEEDUP,
+            "min_parallel_ratio": MIN_PARALLEL_RATIO,
+            "parallel_gate_min_cpus": PARALLEL_GATE_MIN_CPUS,
+            "reduced_workload": CHECK_WORKLOAD,
+            "reduced_max_groups": CHECK_MAX_GROUPS,
+            "reduced_min_vectorized_speedup": CHECK_FLOOR_FALLBACK,
         },
         "bit_identical": bit_identical,
     }
@@ -137,8 +310,23 @@ def main() -> int:
             f"vectorized backend is only {vectorized_speedup:.2f}x the "
             f"reference path (required: >= {MIN_VECTORIZED_SPEEDUP}x)"
         )
+    print(f"Parallel ratio over vectorized at {PARALLEL_JOBS} jobs: "
+          f"{parallel_ratio:.2f}x "
+          f"({'enforced' if parallel_gate_enforced else 'not enforced'}: "
+          f"{cpu_count} cpus)")
+    if parallel_gate_enforced and parallel_ratio < MIN_PARALLEL_RATIO:
+        raise AssertionError(
+            f"parallel backend is only {parallel_ratio:.2f}x the vectorized "
+            f"path at {PARALLEL_JOBS} jobs (required: >= {MIN_PARALLEL_RATIO}x)"
+        )
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI perf-gate mode: reduced trace, ratio vs recorded floor",
+    )
+    args = parser.parse_args()
+    raise SystemExit(run_check() if args.check else main())

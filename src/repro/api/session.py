@@ -72,10 +72,12 @@ class Session:
 
     Parameters
     ----------
-    backend / jobs / cache_dir:
+    backend / jobs / cache_dir / shared_dir:
         Engine knobs; ``None`` falls back to the ``REPRO_BACKEND`` /
-        ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment variables, then
-        the defaults.
+        ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_SHARED_CACHE_DIR``
+        environment variables, then the defaults.  ``shared_dir`` points
+        a fleet of serve workers at one cross-process memo tier so they
+        stop re-simulating what a sibling already finished.
     seed:
         Default model/dataset seed for requests that leave ``seed``
         unset (the CLI default is 0, so identical invocations produce
@@ -96,18 +98,21 @@ class Session:
         backend: Optional[str] = None,
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
+        shared_dir: Optional[str] = None,
         seed: int = 0,
         environ: Optional[Dict[str, str]] = None,
         max_cached_traces: int = 16,
     ):
         self.options: EngineOptions = resolve_engine_options(
-            backend=backend, jobs=jobs, cache_dir=cache_dir, environ=environ
+            backend=backend, jobs=jobs, cache_dir=cache_dir,
+            shared_dir=shared_dir, environ=environ,
         )
         self.seed = 0 if seed is None else int(seed)
         self.engine = SimulationEngine(
             backend=self.options.backend,
             jobs=self.options.jobs,
             cache_dir=self.options.cache_dir,
+            shared_dir=self.options.shared_dir,
             memory_cache=True,
         )
         self._traces: "OrderedDict[Tuple, object]" = OrderedDict()

@@ -123,6 +123,13 @@ def _add_engine_arguments(
              "changing the config, seed/trace or backend invalidates "
              "entries automatically; delete the directory to reclaim space "
              "(default: $REPRO_CACHE_DIR, else disabled)")
+    command.add_argument(
+        "--shared-dir", default=None,
+        help="directory for the cross-process shared memo tier; point "
+             "several concurrent runs or serve workers (typically via "
+             "tmpfs) at the same directory and each re-simulates only "
+             "what no sibling finished first "
+             "(default: $REPRO_SHARED_CACHE_DIR, else disabled)")
     if seed_default is None:
         seed_help = ("model/dataset seed; overrides the spec's 'seed' field "
                      "when given (default: use the spec's seed)")
@@ -313,6 +320,7 @@ def _session_for(args: argparse.Namespace):
         backend=args.backend,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        shared_dir=getattr(args, "shared_dir", None),
         seed=getattr(args, "seed", None) or 0,
     )
 

@@ -65,6 +65,27 @@ class Schedule:
         return self.busy_lanes / len(self.selections)
 
 
+def pack_stream_rows(streams: np.ndarray) -> np.ndarray:
+    """Pack boolean stream rows into one ``uint64`` lane-bitmask per row.
+
+    ``streams`` has shape ``(num_streams, rows, lanes)`` with
+    ``lanes <= 64``; the result has shape ``(num_streams, rows)`` where
+    bit ``l`` of word ``[s, r]`` is ``streams[s, r, l]``.  A window
+    starting at row ``p`` for a ``depth``-deep staging buffer is then
+    ``rows[p] | rows[p+1] << lanes | ...`` — the layout
+    :meth:`BatchScheduler.schedule_packed` consumes.
+    """
+    num_streams, rows, lanes = streams.shape
+    if lanes > 64:
+        raise ValueError(f"cannot pack {lanes} lanes into a 64-bit word")
+    packed_bytes = np.packbits(
+        np.ascontiguousarray(streams, dtype=bool), axis=-1, bitorder="little"
+    )
+    words = np.zeros((num_streams, rows, 8), dtype=np.uint8)
+    words[:, :, : packed_bytes.shape[-1]] = packed_bytes
+    return words.view("<u8").reshape(num_streams, rows)
+
+
 class HardwareScheduler:
     """Cycle-level model of the hierarchical scheduler for one PE row.
 
@@ -215,20 +236,66 @@ class BatchScheduler:
 
     The hardware scheduler is combinational and stateless, so scheduling S
     independent windows is embarrassingly parallel.  This class expresses
-    the per-lane priority walk as a sequence of numpy operations over the
-    batch dimension, which the cycle simulator relies on to keep large
-    workloads tractable.  Its decisions are bit-identical to
+    the priority walk as numpy operations over the batch dimension, which
+    the cycle simulator relies on to keep full-model experiments
+    tractable.  Its decisions are bit-identical to
     :class:`HardwareScheduler` (covered by a property test).
+
+    Two equivalent kernels are kept:
+
+    * :meth:`schedule` — boolean windows, vectorised *per level*: lanes
+      within a hardware level have disjoint option sets (guaranteed by
+      :meth:`~repro.core.interconnect.ConnectivityPattern.level_groups`
+      and asserted at construction), so a whole level's selections are
+      computed from one snapshot with a single gather/argmax/scatter
+      round instead of a per-lane Python walk.
+    * :meth:`schedule_packed` — the same decisions on *bit-packed*
+      windows, one ``uint64`` word per window (available whenever
+      ``staging_depth * lanes <= 64``, i.e. :attr:`packable`).  Bit ``i``
+      of the word is staging position ``(i // lanes, i % lanes)``.  This
+      is the kernel behind the engine's batched fast path: per scheduling
+      cycle it touches 8 bytes per window instead of a 48-byte boolean
+      window, which is what makes whole-layer batches cheap.
     """
 
     def __init__(self, pattern: Optional[ConnectivityPattern] = None):
         self.pattern = pattern or ConnectivityPattern()
         groups = self.pattern.level_groups()
+        if not self.pattern.validate_level_groups(groups):  # pragma: no cover
+            raise AssertionError("level groups overlap; scheduler invariant broken")
         self._lane_order = [lane for group in groups for lane in group]
         # Pre-compute the option coordinates per lane for fast indexing.
         self._options = [
             self.pattern.options_for_lane(lane) for lane in range(self.pattern.lanes)
         ]
+        depth, lanes = self.pattern.staging_depth, self.pattern.lanes
+        width = depth * lanes
+        # -- level tables for the boolean kernel -------------------------
+        # Flat (step * lanes + lane) option indices per level, padded with
+        # a sentinel column that is always False, so one gather/argmax
+        # serves every lane of the level at once.
+        self._sentinel = width
+        self._level_tables = []
+        for group in groups:
+            max_opts = max(len(self._options[lane]) for lane in group)
+            table = np.full((len(group), max_opts), self._sentinel, dtype=np.int64)
+            for i, lane in enumerate(group):
+                for rank, (step, src) in enumerate(self._options[lane]):
+                    table[i, rank] = step * lanes + src
+            self._level_tables.append((table, np.arange(len(group))))
+        # -- masks for the bit-packed kernel ------------------------------
+        #: Whether a whole staging window fits one uint64 word.
+        self.packable = width <= 64
+        if self.packable:
+            one = np.uint64(1)
+            self._packed_opts = [
+                [one << np.uint64(step * lanes + src) for step, src in self._options[lane]]
+                for lane in range(lanes)
+            ]
+            self._packed_levels = groups
+            self._row_masks = [
+                np.uint64(((1 << lanes) - 1) << (lanes * row)) for row in range(depth)
+            ]
 
     def schedule(
         self, effectual: np.ndarray, advance_limit: Optional[int] = None
@@ -260,28 +327,80 @@ class BatchScheduler:
                 f"expected windows of shape (*, {self.pattern.staging_depth}, "
                 f"{self.pattern.lanes}), got {effectual.shape}"
             )
-        remaining = effectual.copy()
-        claimed = np.zeros_like(effectual)
+        # Flat windows with one sentinel column (always False) appended, so
+        # idle lanes can "claim" the sentinel unconditionally and the
+        # scatter needs no masking.
+        width = depth * lanes
+        flat = np.zeros((batch, width + 1), dtype=bool)
+        flat[:, :width] = effectual.reshape(batch, width)
+        claimed_flat = np.zeros_like(flat)
         busy = np.zeros(batch, dtype=np.int64)
+        batch_index = np.arange(batch)
 
-        for lane in self._lane_order:
-            done = np.zeros(batch, dtype=bool)
-            for step, source_lane in self._options[lane]:
-                available = remaining[:, step, source_lane] & ~done
-                if not available.any():
-                    continue
-                remaining[available, step, source_lane] = False
-                claimed[available, step, source_lane] = True
-                done |= available
-            busy += done
+        for table, lane_range in self._level_tables:
+            gathered = flat[:, table]              # (batch, level_lanes, opts)
+            available = gathered.any(axis=2)       # (batch, level_lanes)
+            first = gathered.argmax(axis=2)        # first True == priority pick
+            columns = table[lane_range[None, :], first]
+            columns = np.where(available, columns, self._sentinel)
+            flat[batch_index[:, None], columns] = False
+            claimed_flat[batch_index[:, None], columns] = True
+            busy += available.sum(axis=1)
 
+        claimed = claimed_flat[:, :width].reshape(batch, depth, lanes)
+        remaining = flat[:, :width].reshape(batch, depth, lanes)
         # AS: leading fully-drained rows, at least 1.
-        row_has_pending = remaining.any(axis=2)  # (batch, depth)
-        advance = np.zeros(batch, dtype=np.int64)
-        still_clear = np.ones(batch, dtype=bool)
-        for step in range(depth):
-            still_clear &= ~row_has_pending[:, step]
-            advance += still_clear.astype(np.int64)
+        row_clear = ~remaining.any(axis=2)          # (batch, depth)
+        advance = np.cumprod(row_clear, axis=1).sum(axis=1)
+        advance = np.maximum(advance, 1)
+        if advance_limit is not None:
+            if advance_limit < 1:
+                raise ValueError(f"advance_limit must be >= 1, got {advance_limit}")
+            advance = np.minimum(advance, advance_limit)
+        return claimed, advance.astype(np.int64), busy
+
+    # -- bit-packed kernel ---------------------------------------------------
+    def schedule_packed(
+        self, windows: np.ndarray, advance_limit: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Schedule a batch of bit-packed windows (one ``uint64`` each).
+
+        Bit ``step * lanes + lane`` of a window word marks a pending
+        effectual pair at staging position ``(step, lane)``.  Returns
+        ``(claimed, advance, busy)`` where ``claimed`` is a word per
+        window holding the consumed bits — decisions are bit-identical to
+        :meth:`schedule` on the unpacked windows (property-tested).
+
+        Only available when :attr:`packable` (``depth * lanes <= 64``).
+        """
+        if not self.packable:
+            raise ValueError(
+                f"pattern (depth={self.pattern.staging_depth}, "
+                f"lanes={self.pattern.lanes}) does not fit a 64-bit window"
+            )
+        zero = np.uint64(0)
+        remaining = windows.copy()
+        claimed = np.zeros_like(windows)
+        busy = np.zeros(windows.shape[0], dtype=np.int64)
+        for group in self._packed_levels:
+            # Lanes within a level reach disjoint positions, so their
+            # selections are computed from the same `remaining` snapshot.
+            for lane in group:
+                masks = self._packed_opts[lane]
+                selected = remaining & masks[0]
+                for mask in masks[1:]:
+                    # Branchless priority walk: keep the first hit.
+                    candidate = remaining & mask
+                    selected += candidate * (selected == zero)
+                claimed |= selected
+                busy += selected != zero
+            remaining = windows & ~claimed
+        # AS: leading fully-drained rows, at least 1.
+        advance = np.zeros(windows.shape[0], dtype=np.int64)
+        clear = np.ones(windows.shape[0], dtype=bool)
+        for row_mask in self._row_masks:
+            clear = clear & ((remaining & row_mask) == zero)
+            advance += clear
         advance = np.maximum(advance, 1)
         if advance_limit is not None:
             if advance_limit < 1:

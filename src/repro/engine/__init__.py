@@ -30,6 +30,7 @@ from repro.engine.backend import (
 from repro.engine.cache import (
     CACHE_SCHEMA_VERSION,
     ResultCache,
+    SharedResultCache,
     config_fingerprint,
     layer_key,
     trace_fingerprint,
@@ -52,6 +53,7 @@ __all__ = [
     "register_backend",
     "default_jobs",
     "ResultCache",
+    "SharedResultCache",
     "CACHE_SCHEMA_VERSION",
     "config_fingerprint",
     "trace_fingerprint",

@@ -183,6 +183,40 @@ class VectorizedBackend(SimulationBackend):
     ) -> OperationResult:
         return accelerator.run_operation_batched(op_name, groups)
 
+    def simulate_layers(self, simulator, traces: Sequence) -> List:
+        """Layer-batched execution: fuse every layer's operations into
+        shared ragged scheduling batches.
+
+        Stream extraction runs per layer as usual, but the extracted
+        work groups of *all* layers and operations are handed to
+        :meth:`repro.core.accelerator.Accelerator.run_operations_batched`
+        in one go, so the per-cycle scheduling cost is amortised across
+        the whole trace rather than per operation.  Sampling scaling and
+        the memory-hierarchy constraint still run per layer in
+        ``finalize_layer``, keeping results bit-identical to the serial
+        loop.
+        """
+        layers = traced_layers(traces)
+        layer_streams = [simulator.streams_for_trace(trace) for trace in layers]
+        units = []
+        for index, streams in enumerate(layer_streams):
+            for operation, operand_streams in streams.items():
+                units.append((index, operation, operand_streams))
+        op_results = simulator.accelerator.run_operations_batched(
+            [(operation, s.groups) for _, operation, s in units]
+        )
+        per_layer: List[Dict[str, OperationResult]] = [{} for _ in layers]
+        for (index, operation, _), op_result in zip(units, op_results):
+            per_layer[index][operation] = op_result
+        return [
+            simulator.finalize_layer(
+                trace,
+                per_layer[index],
+                {op: s.sampling_factor for op, s in layer_streams[index].items()},
+            )
+            for index, trace in enumerate(layers)
+        ]
+
 
 #: Backend registry; ``parallel`` self-registers on import (see get_backend).
 _BACKENDS: Dict[str, Callable[..., SimulationBackend]] = {

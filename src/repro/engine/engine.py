@@ -36,6 +36,7 @@ from repro.core.config import AcceleratorConfig
 from repro.engine.backend import SimulationBackend, get_backend, traced_layers
 from repro.engine.cache import (
     ResultCache,
+    SharedResultCache,
     config_fingerprint,
     layer_key,
     trace_fingerprint,
@@ -45,14 +46,25 @@ from repro.simulation.cycle_sim import LayerResult, LayerSimulator
 
 @dataclass
 class EngineStats:
-    """Counters describing one engine's activity (reset per engine)."""
+    """Counters describing one engine's activity (reset per engine).
+
+    ``cache_hits`` is the aggregate across the whole cache stack;
+    ``memo_hits`` / ``shared_hits`` / ``disk_hits`` attribute every hit
+    to the tier that served it (in-process memo, cross-process shared
+    tier, on-disk cache), so a fleet of workers can see whether the
+    shared tier is actually saving simulations.
+    """
 
     backend: str
     jobs: int = 1
     cache_dir: Optional[str] = None
+    shared_dir: Optional[str] = None
     layers_simulated: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    memo_hits: int = 0
+    shared_hits: int = 0
+    disk_hits: int = 0
 
     @property
     def layers_total(self) -> int:
@@ -71,9 +83,13 @@ class EngineStats:
             "backend": self.backend,
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
+            "shared_dir": self.shared_dir,
             "layers_simulated": self.layers_simulated,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "memo_hits": self.memo_hits,
+            "shared_hits": self.shared_hits,
+            "disk_hits": self.disk_hits,
             "hit_rate": self.hit_rate,
         }
 
@@ -86,13 +102,18 @@ class EngineStats:
         """
         jobs = payload.get("jobs")
         cache_dir = payload.get("cache_dir")
+        shared_dir = payload.get("shared_dir")
         return cls(
             backend=str(payload.get("backend", "vectorized")),
             jobs=int(jobs) if jobs else 1,
             cache_dir=str(cache_dir) if cache_dir else None,
+            shared_dir=str(shared_dir) if shared_dir else None,
             layers_simulated=int(payload.get("layers_simulated", 0)),
             cache_hits=int(payload.get("cache_hits", 0)),
             cache_misses=int(payload.get("cache_misses", 0)),
+            memo_hits=int(payload.get("memo_hits", 0)),
+            shared_hits=int(payload.get("shared_hits", 0)),
+            disk_hits=int(payload.get("disk_hits", 0)),
         )
 
     def snapshot(self) -> "EngineStats":
@@ -110,9 +131,13 @@ class EngineStats:
             backend=self.backend,
             jobs=self.jobs,
             cache_dir=self.cache_dir,
+            shared_dir=self.shared_dir,
             layers_simulated=self.layers_simulated - earlier.layers_simulated,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
+            memo_hits=self.memo_hits - earlier.memo_hits,
+            shared_hits=self.shared_hits - earlier.shared_hits,
+            disk_hits=self.disk_hits - earlier.disk_hits,
         )
 
 
@@ -137,6 +162,13 @@ class SimulationEngine:
         the sampling parameters, the traced operands or the backend
         invalidates them structurally; results simulated under different
         hierarchies can never collide.
+    shared_dir:
+        Directory for the cross-process shared memo tier
+        (:class:`~repro.engine.cache.SharedResultCache`) — point several
+        engine processes (serve workers, concurrent runs) at the same
+        directory, typically on tmpfs, and each re-simulates only what
+        no sibling finished first.  Sits between the in-process memo and
+        the disk cache in the lookup order; ``None`` disables it.
     max_groups / max_batch:
         Default stream-sampling parameters, forwarded to the layer
         simulator (and folded into the cache key).  Overridable per call.
@@ -157,18 +189,21 @@ class SimulationEngine:
         max_groups: Optional[int] = 256,
         max_batch: Optional[int] = 4,
         memory_cache: bool = False,
+        shared_dir: Optional[str] = None,
     ):
         self.config = config or AcceleratorConfig()
         self.backend = get_backend(backend, jobs=jobs)
         self.max_groups = max_groups
         self.max_batch = max_batch
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.shared = SharedResultCache(shared_dir) if shared_dir else None
         self._memo: Optional[Dict[str, LayerResult]] = {} if memory_cache else None
         self._simulators: Dict[str, LayerSimulator] = {}
         self.stats = EngineStats(
             backend=self.backend.name,
             jobs=getattr(self.backend, "jobs", 1),
             cache_dir=str(cache_dir) if cache_dir else None,
+            shared_dir=str(shared_dir) if shared_dir else None,
         )
         # The default-config simulator, eagerly built for back-compat
         # (callers that read ``engine.simulator`` directly).
@@ -229,22 +264,45 @@ class SimulationEngine:
             self.stats.cache_dir = previous_label
 
     def _lookup(self, key: str) -> Optional[LayerResult]:
+        """Read through the cache stack: memo -> shared tier -> disk.
+
+        Hits are promoted into every faster tier above the one that
+        served them (disk hits also seed the shared tier), so repeated
+        lookups in one process stop re-reading files and sibling
+        processes inherit whatever any of them loaded.  Per-tier hit
+        counters land in :attr:`stats`; the aggregate ``cache_hits`` is
+        maintained by the caller.
+        """
         if self._memo is not None:
             hit = self._memo.get(key)
             if hit is not None:
+                self.stats.memo_hits += 1
                 return hit
+        if self.shared is not None:
+            loaded = self.shared.load(key)
+            if loaded is not None:
+                self.stats.shared_hits += 1
+                if self._memo is not None:
+                    self._memo[key] = loaded
+                return loaded
         if self.cache is not None:
             loaded = self.cache.load(key)
-            if loaded is not None and self._memo is not None:
-                # Promote disk hits so repeated requests in one session
-                # stop re-reading and re-parsing the cache files.
-                self._memo[key] = loaded
+            if loaded is not None:
+                self.stats.disk_hits += 1
+                if self._memo is not None:
+                    # Promote disk hits so repeated requests in one session
+                    # stop re-reading and re-parsing the cache files.
+                    self._memo[key] = loaded
+                if self.shared is not None:
+                    self.shared.store(key, loaded)
             return loaded
         return None
 
     def _store(self, key: str, result: LayerResult) -> None:
         if self._memo is not None:
             self._memo[key] = result
+        if self.shared is not None:
+            self.shared.store(key, result)
         if self.cache is not None:
             self.cache.store(key, result)
 
@@ -280,7 +338,7 @@ class SimulationEngine:
         """
         work = traced_layers(traces)
         simulator, config_fp = self._resolve(config, max_groups, max_batch)
-        if self.cache is None and self._memo is None:
+        if self.cache is None and self._memo is None and self.shared is None:
             results = self.backend.simulate_layers(simulator, work)
             self.stats.layers_simulated += len(results)
             return results

@@ -5,14 +5,16 @@ programmatic :class:`repro.api.Session`, the benchmark harness:
 
 * **backend** — ``reference`` / ``vectorized`` / ``parallel``;
 * **jobs** — worker-pool size for the parallel backend;
-* **cache_dir** — on-disk result-cache directory.
+* **cache_dir** — on-disk result-cache directory;
+* **shared_dir** — cross-process shared memo-tier directory.
 
 :func:`resolve_engine_options` is the single place their precedence is
 decided: an explicit argument wins, then the ``REPRO_BACKEND`` /
-``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment variables, then the
-defaults (``vectorized``, auto-sized pool, no cache).  Every caller goes
-through this helper, so setting ``REPRO_BACKEND=reference`` steers the
-CLI, a long-lived API session and a benchmark run identically.
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_SHARED_CACHE_DIR``
+environment variables, then the defaults (``vectorized``, auto-sized
+pool, no caches).  Every caller goes through this helper, so setting
+``REPRO_BACKEND=reference`` steers the CLI, a long-lived API session and
+a benchmark run identically.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ class EngineOptions:
     backend: str = DEFAULT_BACKEND
     jobs: Optional[int] = None
     cache_dir: Optional[str] = None
+    shared_dir: Optional[str] = None
 
     def as_dict(self) -> dict:
         """JSON-friendly view for health/stats payloads."""
@@ -39,6 +42,7 @@ class EngineOptions:
             "backend": self.backend,
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
+            "shared_dir": self.shared_dir,
         }
 
 
@@ -46,6 +50,7 @@ def resolve_engine_options(
     backend: Optional[str] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
+    shared_dir: Optional[Union[str, os.PathLike]] = None,
     environ: Optional[Mapping[str, str]] = None,
 ) -> EngineOptions:
     """Resolve the engine knobs: explicit argument > env var > default.
@@ -79,8 +84,11 @@ def resolve_engine_options(
 
     if cache_dir is None:
         cache_dir = env.get("REPRO_CACHE_DIR") or None
+    if shared_dir is None:
+        shared_dir = env.get("REPRO_SHARED_CACHE_DIR") or None
     return EngineOptions(
         backend=backend,
         jobs=jobs,
         cache_dir=str(cache_dir) if cache_dir else None,
+        shared_dir=str(shared_dir) if shared_dir else None,
     )

@@ -1,30 +1,37 @@
 """Sharded parallel execution of layer simulations.
 
-:class:`ParallelBackend` distributes traced layers across a
-``multiprocessing`` pool.  Each worker owns a private
-:class:`~repro.simulation.cycle_sim.LayerSimulator` bound to the vectorized
-backend (built once per process from the pickled accelerator
-configuration), so a layer's simulation inside a worker is exactly the
-vectorized fast path — which is itself bit-identical to the reference
-oracle.  Results come back through ``Pool.map``, which preserves input
-order, so the merge is deterministic regardless of worker scheduling.
+:class:`ParallelBackend` parallelises at the granularity of *group-range
+shards*, not whole layers: every traced operation of every layer is split
+into slices of at most ``shard_groups`` work groups, and the shards are
+packed onto workers with a longest-processing-time greedy plan.  A
+23-layer trace therefore spreads evenly across 8 jobs even when two big
+conv layers dominate the runtime — parallelism scales with total work,
+not layer count.
 
-Layers are the sharding unit because they are completely independent: the
-accelerator model is stateless across layers and the traced operand masks
-are immutable.  Work is interleaved round-robin-by-chunk to smooth the
-skew between big early conv layers and tiny late FC layers.
+The merge is exact: every :class:`~repro.core.accelerator.OperationResult`
+field a shard produces (baseline cycles, TensorDash cycles, MAC counts)
+is a sum over independent work groups, so summing the shard partials
+reconstructs the unsharded result bit-for-bit.  Sampling-factor scaling
+and the memory-hierarchy constraint are applied once, in the parent,
+after the merge — the same order the in-process backends use — keeping
+all backends bit-identical (property-tested).
 
-The memory hierarchy travels with the pickled configuration, so each
-worker's simulator applies the same bandwidth constraint (and the same
-staging-refill clamp) as the in-process backends — memory-aware results
-stay bit-identical across backends.
+Workers inherit the shard payload (accelerator config plus every shard's
+operand groups) through fork's copy-on-write page sharing where the
+platform allows, avoiding per-task pickling of the large boolean arrays;
+on spawn-only platforms the payload is pickled to each worker once at
+pool start-up.  Inside a worker, the shards of one task batch are fused
+into a single ragged scheduling batch
+(:meth:`~repro.core.accelerator.Accelerator.run_operations_batched`), so
+each worker runs at the full layer-batched vectorized speed.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.backend import (
     SimulationBackend,
@@ -33,21 +40,39 @@ from repro.engine.backend import (
     traced_layers,
 )
 
-# Per-worker simulator, built once by _init_worker (fork or spawn safe).
-_WORKER_SIMULATOR = None
+# Pre-fork shard payload: (config, [(op_name, groups), ...]).  Module
+# global so forked workers see it without pickling; spawn workers receive
+# it via the initializer arguments instead.
+_SHARD_PAYLOAD: Optional[Tuple[object, List[Tuple[str, object]]]] = None
+_SHARD_ACCELERATOR = None
 
 
-def _init_worker(config, max_groups, max_batch) -> None:
-    global _WORKER_SIMULATOR
-    from repro.simulation.cycle_sim import LayerSimulator
+def _init_shard_worker(payload=None) -> None:
+    """Build the per-process accelerator (fork inherits the payload)."""
+    global _SHARD_PAYLOAD, _SHARD_ACCELERATOR
+    from repro.core.accelerator import Accelerator
 
-    _WORKER_SIMULATOR = LayerSimulator(
-        config, max_groups=max_groups, max_batch=max_batch, backend="vectorized"
-    )
+    if payload is not None:
+        _SHARD_PAYLOAD = payload
+    if _SHARD_PAYLOAD is None:
+        raise RuntimeError("shard worker started without a payload")
+    _SHARD_ACCELERATOR = Accelerator(_SHARD_PAYLOAD[0])
 
 
-def _simulate_one(trace):
-    return _WORKER_SIMULATOR.simulate_layer(trace)
+def _run_shard_batch(shards: List[Tuple[int, int, int]]):
+    """Run one worker's shards as a single fused scheduling batch.
+
+    ``shards`` is a list of ``(unit_index, group_start, group_stop)``
+    triples into the pre-distributed unit list; returns the matching
+    ``(unit_index, OperationResult)`` partials.
+    """
+    units = _SHARD_PAYLOAD[1]
+    batch = [
+        (units[index][0], units[index][1][start:stop])
+        for index, start, stop in shards
+    ]
+    results = _SHARD_ACCELERATOR.run_operations_batched(batch)
+    return [(index, result) for (index, _, _), result in zip(shards, results)]
 
 
 def default_jobs() -> int:
@@ -55,50 +80,177 @@ def default_jobs() -> int:
     return max(1, min(os.cpu_count() or 1, 8))
 
 
+def default_shard_groups(total_groups: int, jobs: int) -> int:
+    """Auto shard size: ~4 shards per job, floored to amortise overhead."""
+    if total_groups <= 0:
+        return 1
+    return max(16, math.ceil(total_groups / (jobs * 4)))
+
+
+def _merge_partials(name: str, partials: List):
+    """Sum shard partials back into one exact OperationResult."""
+    from repro.core.accelerator import OperationResult
+
+    return OperationResult(
+        name=name,
+        baseline_cycles=sum(p.baseline_cycles for p in partials),
+        tensordash_cycles=sum(p.tensordash_cycles for p in partials),
+        macs_total=sum(p.macs_total for p in partials),
+        macs_effectual=sum(p.macs_effectual for p in partials),
+    )
+
+
 class ParallelBackend(SimulationBackend):
-    """Shards traced layers across a process pool with deterministic merging.
+    """Shards work groups across a process pool with exact merging.
 
     Parameters
     ----------
     jobs:
         Number of worker processes; ``None`` picks :func:`default_jobs`.
-        With ``jobs=1`` (or a single layer) the backend degrades to the
-        in-process vectorized path, so it is always safe to select.
+        ``jobs <= 0`` is rejected with a :exc:`ValueError` (it used to
+        silently fall back to the default, hiding configuration typos).
+        With ``jobs=1`` the backend runs the in-process layer-batched
+        vectorized path directly — no pool is ever spawned.
+    shard_groups:
+        Maximum work groups per shard; ``None`` reads the
+        ``REPRO_SHARD_GROUPS`` environment variable and otherwise sizes
+        shards automatically (:func:`default_shard_groups`).
     """
 
     name = "parallel"
 
-    def __init__(self, jobs: Optional[int] = None):
-        self.jobs = jobs if jobs and jobs > 0 else default_jobs()
+    def __init__(self, jobs: Optional[int] = None, shard_groups: Optional[int] = None):
+        if jobs is not None and jobs <= 0:
+            raise ValueError(
+                f"jobs must be >= 1, got {jobs}; leave it unset to use "
+                f"the machine default"
+            )
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if shard_groups is None:
+            env = os.environ.get("REPRO_SHARD_GROUPS")
+            if env is not None:
+                shard_groups = int(env)
+        if shard_groups is not None and shard_groups <= 0:
+            raise ValueError(f"shard_groups must be >= 1, got {shard_groups}")
+        self.shard_groups = shard_groups
         self._vectorized = VectorizedBackend()
+        #: Telemetry from the most recent :meth:`simulate_layers` call —
+        #: ``{"shards": ..., "units": ..., "jobs": ..., "shard_groups": ...}``.
+        #: Benchmarks record it so regressions stay attributable.
+        self.last_shard_info: Dict[str, int] = {}
 
     def describe(self) -> str:
         return f"{self.name}(jobs={self.jobs})"
 
-    # Single operations have no layer-level parallelism to exploit; run
-    # them on the in-process vectorized kernel.
+    # Single operations have no sharding to exploit; run them on the
+    # in-process vectorized kernel.
     def run_operation(self, accelerator, op_name, groups):
         return self._vectorized.run_operation(accelerator, op_name, groups)
 
     def simulate_layers(self, simulator, traces: Sequence) -> List:
         work = traced_layers(traces)
-        if len(work) <= 1 or self.jobs <= 1:
-            return [simulator.simulate_layer(trace) for trace in work]
+        if len(work) == 0:
+            return []
+        if self.jobs <= 1:
+            self.last_shard_info = {
+                "shards": 0, "units": 0, "jobs": 1, "shard_groups": 0,
+            }
+            return self._vectorized.simulate_layers(simulator, work)
+
+        # Extract every layer's streams in the parent; extraction is cheap
+        # next to scheduling and the arrays fork-share copy-on-write.
+        layer_streams = [simulator.streams_for_trace(trace) for trace in work]
+        units = []  # (layer_index, op_name, OperandStreams)
+        for index, streams in enumerate(layer_streams):
+            for operation, operand_streams in streams.items():
+                units.append((index, operation, operand_streams))
+
+        total_groups = sum(s.groups.shape[0] for _, _, s in units)
+        shard_groups = self.shard_groups or default_shard_groups(
+            total_groups, self.jobs
+        )
+
+        # Slice units into group-range shards and plan them onto workers
+        # (greedy longest-processing-time on estimated scheduling work).
+        depth = simulator.config.pe.staging_depth
+        shards = []  # (unit_index, start, stop, cost)
+        for unit_index, (_, _, operand_streams) in enumerate(units):
+            num_groups, tile_rows, stream_rows, _ = operand_streams.groups.shape
+            if num_groups == 0:
+                shards.append((unit_index, 0, 0, 0))
+                continue
+            for start in range(0, num_groups, shard_groups):
+                stop = min(start + shard_groups, num_groups)
+                cost = (stop - start) * tile_rows * (stream_rows + depth)
+                shards.append((unit_index, start, stop, cost))
+
+        if not shards:
+            return self._vectorized.simulate_layers(simulator, work)
+        jobs = min(self.jobs, len(shards))
+        batches: List[List[Tuple[int, int, int]]] = [[] for _ in range(jobs)]
+        loads = [0] * jobs
+        for unit_index, start, stop, cost in sorted(
+            shards, key=lambda s: (-s[3], s[0], s[1])
+        ):
+            target = loads.index(min(loads))
+            batches[target].append((unit_index, start, stop))
+            loads[target] += cost
+
+        self.last_shard_info = {
+            "shards": len(shards),
+            "units": len(units),
+            "jobs": jobs,
+            "shard_groups": shard_groups,
+        }
+
+        partials = self._run_batches(simulator, units, batches)
+        if partials is None:
+            # Pool creation failed (sandboxed environment); run in-process.
+            return self._vectorized.simulate_layers(simulator, work)
+
+        merged: List[Dict[str, object]] = [{} for _ in work]
+        by_unit: List[List] = [[] for _ in units]
+        for unit_index, partial in partials:
+            by_unit[unit_index].append(partial)
+        for unit_index, (layer_index, operation, _) in enumerate(units):
+            merged[layer_index][operation] = _merge_partials(
+                operation, by_unit[unit_index]
+            )
+        return [
+            simulator.finalize_layer(
+                trace,
+                merged[index],
+                {op: s.sampling_factor for op, s in layer_streams[index].items()},
+            )
+            for index, trace in enumerate(work)
+        ]
+
+    def _run_batches(self, simulator, units, batches):
+        """Run the planned shard batches on a pool; None means no pool."""
+        global _SHARD_PAYLOAD
+        payload = (
+            simulator.config,
+            [(operation, s.groups) for _, operation, s in units],
+        )
         try:
             context = multiprocessing.get_context("fork")
+            initargs = ()
         except ValueError:
             context = multiprocessing.get_context("spawn")
-        init_args = (simulator.config, simulator.max_groups, simulator.max_batch)
-        jobs = min(self.jobs, len(work))
+            initargs = (payload,)
+        _SHARD_PAYLOAD = payload
         try:
             with context.Pool(
-                processes=jobs, initializer=_init_worker, initargs=init_args
+                processes=len(batches),
+                initializer=_init_shard_worker,
+                initargs=initargs,
             ) as pool:
-                return pool.map(_simulate_one, work, chunksize=1)
+                batch_results = pool.map(_run_shard_batch, batches, chunksize=1)
         except (OSError, PermissionError):
-            # Pool creation can fail in sandboxed environments; fall back
-            # to the in-process path rather than dying.
-            return [simulator.simulate_layer(trace) for trace in work]
+            return None
+        finally:
+            _SHARD_PAYLOAD = None
+        return [pair for batch in batch_results for pair in batch]
 
 
 register_backend(ParallelBackend.name, ParallelBackend)

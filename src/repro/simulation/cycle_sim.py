@@ -143,7 +143,14 @@ class LayerSimulator:
         )
 
     # ------------------------------------------------------------------
-    def _streams_for_trace(self, trace: LayerTrace) -> Dict[str, OperandStreams]:
+    def streams_for_trace(self, trace: LayerTrace) -> Dict[str, OperandStreams]:
+        """Operand streams per traced operation (empty if nothing traced).
+
+        Public so batching/sharding backends can extract every layer's
+        streams up front, fuse them into large scheduling batches or
+        group-range shards, and then hand the raw per-operation results
+        back to :meth:`finalize_layer`.
+        """
         if trace.activation_mask is None:
             return {}
         if trace.layer_type == "conv":
@@ -213,8 +220,13 @@ class LayerSimulator:
             bound=dash.bound,
         )
 
-    def simulate_layer(self, trace: LayerTrace) -> LayerResult:
-        """Simulate all traced operations of one layer.
+    def finalize_layer(
+        self,
+        trace: LayerTrace,
+        op_results: Dict[str, OperationResult],
+        sampling_factors: Dict[str, float],
+    ) -> LayerResult:
+        """Assemble a :class:`LayerResult` from raw per-operation results.
 
         When the stream extractor subsamples work groups, the measured
         cycle and MAC counts are scaled back up by the sampling factor so
@@ -226,12 +238,8 @@ class LayerSimulator:
         """
         result = LayerResult(layer_name=trace.layer_name)
         result.traffic = self._traffic_for_trace(trace)
-        streams = self._streams_for_trace(trace)
-        for operation, operand_streams in streams.items():
-            op_result = self.backend.run_operation(
-                self.accelerator, operation, operand_streams.groups
-            )
-            factor = operand_streams.sampling_factor
+        for operation, op_result in op_results.items():
+            factor = sampling_factors.get(operation, 1.0)
             if factor > 1.0:
                 op_result = OperationResult(
                     name=op_result.name,
@@ -244,6 +252,21 @@ class LayerSimulator:
                 op_result, result.traffic.get(operation)
             )
         return result
+
+    def simulate_layer(self, trace: LayerTrace) -> LayerResult:
+        """Simulate all traced operations of one layer."""
+        streams = self.streams_for_trace(trace)
+        op_results = {
+            operation: self.backend.run_operation(
+                self.accelerator, operation, operand_streams.groups
+            )
+            for operation, operand_streams in streams.items()
+        }
+        factors = {
+            operation: operand_streams.sampling_factor
+            for operation, operand_streams in streams.items()
+        }
+        return self.finalize_layer(trace, op_results, factors)
 
     def simulate_layers(self, traces: List[LayerTrace]) -> List[LayerResult]:
         """Simulate every traced layer; layers without masks are skipped.
