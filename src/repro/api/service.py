@@ -10,9 +10,21 @@ concurrent clients:
   implies it).  Responds with the :class:`~repro.api.schema.ApiResult`
   envelope as JSON.
 * ``GET /v1/health`` — liveness: package version, schema version,
-  endpoints and registered workloads.
+  uptime, telemetry status, endpoints and registered workloads — enough
+  for a load balancer or job supervisor to introspect a worker.
 * ``GET /v1/stats`` — session counters: requests served, cached
   traces/runners, engine backend and cache hit/miss totals.
+* ``GET /v1/metrics`` — the process-wide metrics registry
+  (:mod:`repro.telemetry.metrics`) in Prometheus text exposition format:
+  request-latency histograms, per-tier cache hit counters, layers
+  simulated, HTTP traffic.  ``?format=json`` returns the structured
+  JSON variant instead.
+
+Access logging is structured: pass ``access_log`` (the ``--access-log``
+flag) and every response appends one JSON line — method, path, status,
+duration and request/response sizes — to that file; the default is off
+(tests and quiet deployments log nothing).  The old Apache-style
+``log_message`` stderr noise is gone either way.
 
 Requests are served by a :class:`~http.server.ThreadingHTTPServer`; the
 session serialises simulation under its lock, so many clients safely
@@ -28,10 +40,12 @@ routes.  Unexpected faults return ``500`` with the exception text.
 from __future__ import annotations
 
 import json
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro._version import __version__
 from repro.api.schema import (
@@ -42,6 +56,8 @@ from repro.api.schema import (
     request_from_dict,
 )
 from repro.api.session import Session
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.tracing import get_tracer
 
 #: POST routes: URL path -> request kind.
 POST_ROUTES: Dict[str, str] = {
@@ -49,7 +65,10 @@ POST_ROUTES: Dict[str, str] = {
 }
 
 #: Every route the service answers, for health payloads and 404 bodies.
-ENDPOINTS = tuple(sorted(POST_ROUTES)) + ("/v1/health", "/v1/stats")
+ENDPOINTS = tuple(sorted(POST_ROUTES)) + ("/v1/health", "/v1/metrics", "/v1/stats")
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Request bodies above this size are rejected (a spec document is KBs).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -66,16 +85,49 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args) -> None:   # noqa: A002
-        if not getattr(self.server, "quiet", False):
-            super().log_message(format, *args)
+        # The stdlib's Apache-style stderr line is replaced by the
+        # structured JSONL access log (``--access-log``); without one,
+        # per-request logging is off — health-check spam stays out of
+        # operator terminals and test output alike.
+        pass
 
-    def _send_json(self, status: int, payload: Dict) -> None:
-        body = json.dumps(payload, indent=2).encode() + b"\n"
+    def _log_access(self, status: int, response_bytes: int) -> None:
+        """One structured access record per response (plus HTTP metrics)."""
+        _metrics.HTTP_REQUESTS.inc(method=self.command or "?", status=str(status))
+        started = getattr(self, "_began", None)
+        duration_ms = (
+            round((time.perf_counter() - started) * 1e3, 3)
+            if started is not None else None
+        )
+        try:
+            request_bytes = int(self.headers.get("Content-Length") or 0)
+        except (ValueError, AttributeError):
+            request_bytes = 0
+        self.server.write_access_record({
+            "time_s": round(time.time(), 6),
+            "method": self.command,
+            "path": self.path,
+            "status": status,
+            "duration_ms": duration_ms,
+            "request_bytes": request_bytes,
+            "response_bytes": response_bytes,
+            "client": self.client_address[0] if self.client_address else None,
+        })
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        # Count and log before the body hits the socket: a client that
+        # pipelines its next request the instant this response lands must
+        # already see this one reflected in ``/v1/metrics``.
+        self._log_access(status, len(body))
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict) -> None:
+        body = json.dumps(payload, indent=2).encode() + b"\n"
+        self._send_body(status, body, "application/json")
 
     def _read_body(self) -> Tuple[Optional[Dict], Optional[str]]:
         """The parsed JSON body, or ``(None, error message)``."""
@@ -122,7 +174,9 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:   # noqa: N802 - http.server API
-        path = urlsplit(self.path).path
+        self._began = time.perf_counter()
+        parts = urlsplit(self.path)
+        path = parts.path
         if path == "/v1/health":
             from repro.models.registry import available_models
 
@@ -130,11 +184,25 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
                 "status": "ok",
                 "version": __version__,
                 "schema_version": SCHEMA_VERSION,
+                "uptime_seconds": round(
+                    time.time() - self.server.session.started_at, 3
+                ),
+                "telemetry": get_tracer().describe(),
                 "endpoints": list(ENDPOINTS),
                 "models": available_models(),
             })
         elif path == "/v1/stats":
             self._send_json(200, self.server.session.stats())
+        elif path == "/v1/metrics":
+            registry = _metrics.get_registry()
+            wants_json = "json" in parse_qs(parts.query).get("format", [])
+            if wants_json:
+                self._send_json(200, registry.as_dict())
+            else:
+                self._send_body(
+                    200, registry.render_prometheus().encode("utf-8"),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
         else:
             self._send_json(404, {
                 "error": f"unknown path {path!r}",
@@ -142,6 +210,7 @@ class ApiRequestHandler(BaseHTTPRequestHandler):
             })
 
     def do_POST(self) -> None:   # noqa: N802 - http.server API
+        self._began = time.perf_counter()
         path = urlsplit(self.path).path
         kind = POST_ROUTES.get(path)
         if kind is None:
@@ -197,6 +266,7 @@ class ApiServer(ThreadingHTTPServer):
         session: Session,
         quiet: bool = False,
         study_root: Optional[Union[str, Path]] = None,
+        access_log: Optional[Union[str, Path]] = None,
     ):
         super().__init__(address, ApiRequestHandler)
         self.session = session
@@ -204,6 +274,29 @@ class ApiServer(ThreadingHTTPServer):
         #: Directory client-supplied explore ``study_dir`` paths must
         #: resolve under; ``None`` refuses them entirely.
         self.study_root = Path(study_root).resolve() if study_root else None
+        #: Structured JSONL access log; ``None`` (the default) logs nothing.
+        self.access_log = str(access_log) if access_log else None
+        self._access_lock = threading.Lock()
+        self._access_handle = None
+        if self.access_log:
+            Path(self.access_log).parent.mkdir(parents=True, exist_ok=True)
+            self._access_handle = open(self.access_log, "a", encoding="utf-8")
+
+    def write_access_record(self, record: Dict) -> None:
+        """Append one access-log line (no-op without ``access_log``)."""
+        if self._access_handle is None:
+            return
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._access_lock:
+            self._access_handle.write(line)
+            self._access_handle.flush()
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self._access_handle is not None:
+            with self._access_lock:
+                self._access_handle.close()
+                self._access_handle = None
 
 
 def create_server(
@@ -212,6 +305,7 @@ def create_server(
     session: Optional[Session] = None,
     quiet: bool = False,
     study_root: Optional[Union[str, Path]] = None,
+    access_log: Optional[Union[str, Path]] = None,
 ) -> ApiServer:
     """Build (but do not start) the batch service.
 
@@ -219,7 +313,8 @@ def create_server(
     ``server.server_address``; tests use this to avoid collisions.
     """
     return ApiServer(
-        (host, port), session or Session(), quiet=quiet, study_root=study_root
+        (host, port), session or Session(), quiet=quiet,
+        study_root=study_root, access_log=access_log,
     )
 
 
@@ -229,14 +324,17 @@ def serve(
     session: Optional[Session] = None,
     quiet: bool = False,
     study_root: Optional[Union[str, Path]] = None,
+    access_log: Optional[Union[str, Path]] = None,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` entry point)."""
     server = create_server(
-        host=host, port=port, session=session, quiet=quiet, study_root=study_root
+        host=host, port=port, session=session, quiet=quiet,
+        study_root=study_root, access_log=access_log,
     )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro {__version__} serving on http://{bound_host}:{bound_port}  "
-          f"(POST {', '.join(sorted(POST_ROUTES))}; GET /v1/health, /v1/stats)")
+          f"(POST {', '.join(sorted(POST_ROUTES))}; "
+          f"GET /v1/health, /v1/metrics, /v1/stats)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

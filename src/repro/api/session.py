@@ -63,6 +63,9 @@ from repro.engine.engine import SimulationEngine
 from repro.engine.options import EngineOptions, resolve_engine_options
 from repro.models.registry import trace_workload
 from repro.simulation.runner import ExperimentRunner
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.tracing import configure as configure_telemetry
+from repro.telemetry.tracing import get_tracer
 
 Progress = Optional[Callable[[str], None]]
 
@@ -72,12 +75,16 @@ class Session:
 
     Parameters
     ----------
-    backend / jobs / cache_dir / shared_dir:
+    backend / jobs / cache_dir / shared_dir / telemetry_dir:
         Engine knobs; ``None`` falls back to the ``REPRO_BACKEND`` /
         ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_SHARED_CACHE_DIR``
-        environment variables, then the defaults.  ``shared_dir`` points
-        a fleet of serve workers at one cross-process memo tier so they
-        stop re-simulating what a sibling already finished.
+        / ``REPRO_TELEMETRY_DIR`` environment variables, then the
+        defaults.  ``shared_dir`` points a fleet of serve workers at one
+        cross-process memo tier so they stop re-simulating what a
+        sibling already finished; ``telemetry_dir`` enables the
+        process-wide span tracer (:mod:`repro.telemetry`) and every
+        ``submit`` then records a ``session.submit`` span tree plus a
+        metrics snapshot to the JSONL event log there.
     seed:
         Default model/dataset seed for requests that leave ``seed``
         unset (the CLI default is 0, so identical invocations produce
@@ -99,14 +106,20 @@ class Session:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         shared_dir: Optional[str] = None,
+        telemetry_dir: Optional[str] = None,
         seed: int = 0,
         environ: Optional[Dict[str, str]] = None,
         max_cached_traces: int = 16,
     ):
         self.options: EngineOptions = resolve_engine_options(
             backend=backend, jobs=jobs, cache_dir=cache_dir,
-            shared_dir=shared_dir, environ=environ,
+            shared_dir=shared_dir, telemetry_dir=telemetry_dir,
+            environ=environ,
         )
+        if self.options.telemetry_dir:
+            # Enable (or reuse) the process-wide tracer; sessions built
+            # without a telemetry_dir leave the global state alone.
+            configure_telemetry(self.options.telemetry_dir)
         self.seed = 0 if seed is None else int(seed)
         self.engine = SimulationEngine(
             backend=self.options.backend,
@@ -145,13 +158,18 @@ class Session:
         if key in self._traces:
             self._traces.move_to_end(key)
         else:
-            self._traces[key] = trace_workload(
-                model, epochs=epochs, batches_per_epoch=batches_per_epoch,
-                batch_size=batch_size, seed=seed,
-                trace_max_batch=trace_max_batch,
-            )
+            with get_tracer().span(
+                "session.trace", model=model, epochs=epochs,
+                batches_per_epoch=batches_per_epoch, batch_size=batch_size,
+            ):
+                self._traces[key] = trace_workload(
+                    model, epochs=epochs, batches_per_epoch=batches_per_epoch,
+                    batch_size=batch_size, seed=seed,
+                    trace_max_batch=trace_max_batch,
+                )
             while len(self._traces) > self._max_cached_traces:
                 self._traces.popitem(last=False)
+        _metrics.CACHED_TRACES.set(len(self._traces))
         return self._traces[key]
 
     def _runner(self, config: AcceleratorConfig, max_groups: int) -> ExperimentRunner:
@@ -184,14 +202,28 @@ class Session:
                 f"unsupported request type {type(request).__name__!r}; "
                 f"expected one of {sorted(self._handlers)}"
             )
+        tracer = get_tracer()
         with self._lock:
             request.validate()
             before = self.engine.stats.snapshot()
             self._request_cache_dir = before.cache_dir
             start = time.perf_counter()
-            result = handler(request, progress)
-            elapsed = time.perf_counter() - start
-            delta = self.engine.stats.since(before)
+            with tracer.span(
+                "session.submit", kind=request.kind,
+                model=getattr(request, "model", None),
+            ) as span:
+                result = handler(request, progress)
+                elapsed = time.perf_counter() - start
+                delta = self.engine.stats.since(before)
+                span.set(
+                    elapsed_seconds=round(elapsed, 6),
+                    layers_simulated=delta.layers_simulated,
+                    cache_hits=delta.cache_hits,
+                )
+            _metrics.REQUESTS_TOTAL.inc(kind=request.kind)
+            _metrics.REQUEST_SECONDS.observe(elapsed, kind=request.kind)
+            if tracer.enabled:
+                tracer.emit_metrics(_metrics.get_registry())
             # A handler may have attached a request-scoped disk cache
             # (explore's <study_dir>/cache); the delta's metadata must
             # name the cache the work actually ran against, not the
@@ -256,7 +288,13 @@ class Session:
             "cached_traces": len(self._traces),
             "cached_runners": len(self._runners),
             "engine": self.engine.stats.as_dict(),
+            "telemetry": get_tracer().describe(),
         }
+
+    @property
+    def started_at(self) -> float:
+        """Unix time this session was built (for uptime reporting)."""
+        return self._started
 
     # ------------------------------------------------------------------
     # request handlers

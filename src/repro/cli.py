@@ -48,6 +48,24 @@ JSON to a running ``repro serve``.
     Start the batch simulation service: concurrent clients POST request
     documents to ``/v1/simulate`` etc. and share one warm session, so a
     workload any client already ran returns as pure cache hits.
+    ``GET /v1/metrics`` serves the process metrics registry in
+    Prometheus text format; ``--access-log`` appends one structured
+    JSON line per response.
+
+``trace``
+    Render the span tree of a recorded telemetry run: point it at a
+    JSONL event log (or a whole ``--telemetry-dir`` directory) and it
+    prints every trace's nested spans with total and self times — the
+    profiler view from ``docs/performance.md``, for any run that was
+    recorded, not just the benchmark harness.
+
+Telemetry: every simulating subcommand accepts ``--telemetry-dir DIR``
+(or ``REPRO_TELEMETRY_DIR``), which enables the structured tracer in
+:mod:`repro.telemetry` — session submits, engine batches, cache lookups,
+study points and per-device scale dispatches are recorded as nested
+spans in an append-only JSONL log under DIR, ready for ``repro trace``.
+Disabled (the default), telemetry costs nothing and outputs are
+bit-identical.
 
 Every simulating subcommand executes through the pluggable simulation
 engine (:mod:`repro.engine`): ``--backend`` selects the execution strategy
@@ -84,6 +102,8 @@ Examples
     python -m repro serve --port 8000
     curl -X POST http://127.0.0.1:8000/v1/simulate \\
         -d '{"model": "snli", "epochs": 1}'
+    python -m repro simulate snli --telemetry-dir /tmp/repro-tele
+    python -m repro trace /tmp/repro-tele --min-ms 1
 """
 
 from __future__ import annotations
@@ -130,6 +150,13 @@ def _add_engine_arguments(
              "tmpfs) at the same directory and each re-simulates only "
              "what no sibling finished first "
              "(default: $REPRO_SHARED_CACHE_DIR, else disabled)")
+    command.add_argument(
+        "--telemetry-dir", default=None,
+        help="directory for the structured telemetry event log: nested "
+             "spans (session submits, engine batches, cache lookups, "
+             "study points, per-device dispatches) and metrics snapshots "
+             "as rotating JSONL, rendered later by 'repro trace' "
+             "(default: $REPRO_TELEMETRY_DIR, else disabled)")
     if seed_default is None:
         seed_help = ("model/dataset seed; overrides the spec's 'seed' field "
                      "when given (default: use the spec's seed)")
@@ -304,7 +331,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "may place their study_dir; without it, "
                             "client-supplied study_dir paths are refused "
                             "(they create directories and write files)")
+    serve.add_argument("--access-log", default=None,
+                       help="append one structured JSON line per HTTP "
+                            "response (method, path, status, duration, "
+                            "sizes) to this file; off by default")
     _add_engine_arguments(serve)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render the span tree of a recorded telemetry run "
+             "(self/total times per span, like a profiler)",
+    )
+    trace.add_argument(
+        "log",
+        help="a telemetry JSONL event log, or a --telemetry-dir directory "
+             "of rotated segments")
+    trace.add_argument(
+        "--trace-id", default=None,
+        help="render only traces whose id starts with this prefix")
+    trace.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="hide spans shorter than this many milliseconds "
+             "(hidden spans are counted, never silently dropped)")
+    trace.add_argument(
+        "--summary", action="store_true",
+        help="also print the flat per-span-name profile "
+             "(count, total, self), heaviest self time first")
     return parser
 
 
@@ -321,6 +373,7 @@ def _session_for(args: argparse.Namespace):
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         shared_dir=getattr(args, "shared_dir", None),
+        telemetry_dir=getattr(args, "telemetry_dir", None),
         seed=getattr(args, "seed", None) or 0,
     )
 
@@ -557,7 +610,35 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.api.service import serve
 
     return serve(host=args.host, port=args.port, session=_session_for(args),
-                 study_root=args.study_root)
+                 study_root=args.study_root, access_log=args.access_log)
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.schema import TelemetryRecordError
+    from repro.telemetry.view import render_trace_trees, summarize_by_name
+
+    if not Path(args.log).exists():
+        raise CliError(f"telemetry log {args.log!r} does not exist")
+    try:
+        print(render_trace_trees(
+            args.log, trace_id=args.trace_id, min_ms=args.min_ms,
+        ))
+        if args.summary:
+            rows = [
+                [entry["name"], entry["count"],
+                 f"{entry['total_s']:.4f}", f"{entry['self_s']:.4f}"]
+                for entry in summarize_by_name(args.log)
+            ]
+            print(format_table(
+                "Per-span-name profile (heaviest self time first)",
+                ["span", "count", "total s", "self s"],
+                rows,
+            ))
+    except (TelemetryRecordError, ValueError, OSError) as exc:
+        # A malformed log, an empty directory or an unmatched --trace-id
+        # is a usage problem, not an internal fault.
+        raise CliError(str(exc)) from exc
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -581,6 +662,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_explore(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "trace":
+            return _command_trace(args)
     except NotADirectoryError as exc:
         # e.g. --cache-dir pointing at an existing file.
         parser.error(str(exc))

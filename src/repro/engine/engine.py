@@ -42,6 +42,8 @@ from repro.engine.cache import (
     trace_fingerprint,
 )
 from repro.simulation.cycle_sim import LayerResult, LayerSimulator
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.tracing import get_tracer
 
 
 @dataclass
@@ -338,9 +340,18 @@ class SimulationEngine:
         """
         work = traced_layers(traces)
         simulator, config_fp = self._resolve(config, max_groups, max_batch)
+        tracer = get_tracer()
         if self.cache is None and self._memo is None and self.shared is None:
-            results = self.backend.simulate_layers(simulator, work)
+            with tracer.span(
+                "engine.simulate_layers",
+                backend=self.backend.name, layers=len(work),
+            ):
+                results = self.backend.simulate_layers(simulator, work)
             self.stats.layers_simulated += len(results)
+            if results:
+                _metrics.LAYERS_SIMULATED.inc(
+                    len(results), backend=self.backend.name
+                )
             return results
 
         slots: List[Optional[LayerResult]] = [None] * len(work)
@@ -349,20 +360,42 @@ class SimulationEngine:
             layer_key(config_fp, trace_fingerprint(trace), self.backend.name)
             for trace in work
         ]
-        for index, key in enumerate(keys):
-            cached = self._lookup(key)
-            if cached is None:
-                misses.append(index)
-            else:
-                slots[index] = cached
+        tiers_before = (
+            self.stats.memo_hits, self.stats.shared_hits, self.stats.disk_hits
+        )
+        with tracer.span("engine.cache_lookup", layers=len(work)) as span:
+            for index, key in enumerate(keys):
+                cached = self._lookup(key)
+                if cached is None:
+                    misses.append(index)
+                else:
+                    slots[index] = cached
+            span.set(hits=len(work) - len(misses), misses=len(misses))
         self.stats.cache_hits += len(work) - len(misses)
         self.stats.cache_misses += len(misses)
-
+        # Feed the process-wide registry the same per-call deltas the
+        # stats counters record — one increment per tier per batch, so
+        # the hot per-layer lookup loop stays untouched.
+        for tier, before, now in zip(
+            ("memo", "shared", "disk"), tiers_before,
+            (self.stats.memo_hits, self.stats.shared_hits, self.stats.disk_hits),
+        ):
+            if now > before:
+                _metrics.CACHE_HITS.inc(now - before, tier=tier)
         if misses:
-            fresh = self.backend.simulate_layers(
-                simulator, [work[i] for i in misses]
-            )
+            _metrics.CACHE_MISSES.inc(len(misses))
+            with tracer.span(
+                "engine.simulate_layers",
+                backend=self.backend.name, layers=len(misses),
+            ):
+                fresh = self.backend.simulate_layers(
+                    simulator, [work[i] for i in misses]
+                )
             self.stats.layers_simulated += len(fresh)
+            if fresh:
+                _metrics.LAYERS_SIMULATED.inc(
+                    len(fresh), backend=self.backend.name
+                )
             for index, result in zip(misses, fresh):
                 self._store(keys[index], result)
                 slots[index] = result

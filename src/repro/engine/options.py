@@ -6,15 +6,18 @@ programmatic :class:`repro.api.Session`, the benchmark harness:
 * **backend** — ``reference`` / ``vectorized`` / ``parallel``;
 * **jobs** — worker-pool size for the parallel backend;
 * **cache_dir** — on-disk result-cache directory;
-* **shared_dir** — cross-process shared memo-tier directory.
+* **shared_dir** — cross-process shared memo-tier directory;
+* **telemetry_dir** — span/metrics event-log directory
+  (:mod:`repro.telemetry`).
 
 :func:`resolve_engine_options` is the single place their precedence is
 decided: an explicit argument wins, then the ``REPRO_BACKEND`` /
-``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_SHARED_CACHE_DIR``
-environment variables, then the defaults (``vectorized``, auto-sized
-pool, no caches).  Every caller goes through this helper, so setting
-``REPRO_BACKEND=reference`` steers the CLI, a long-lived API session and
-a benchmark run identically.
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_SHARED_CACHE_DIR`` /
+``REPRO_TELEMETRY_DIR`` environment variables, then the defaults
+(``vectorized``, auto-sized pool, no caches, telemetry disabled).  Every
+caller goes through this helper, so setting ``REPRO_BACKEND=reference``
+steers the CLI, a long-lived API session and a benchmark run
+identically.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ class EngineOptions:
     jobs: Optional[int] = None
     cache_dir: Optional[str] = None
     shared_dir: Optional[str] = None
+    telemetry_dir: Optional[str] = None
 
     def as_dict(self) -> dict:
         """JSON-friendly view for health/stats payloads."""
@@ -43,6 +47,7 @@ class EngineOptions:
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
             "shared_dir": self.shared_dir,
+            "telemetry_dir": self.telemetry_dir,
         }
 
 
@@ -51,6 +56,7 @@ def resolve_engine_options(
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     shared_dir: Optional[Union[str, os.PathLike]] = None,
+    telemetry_dir: Optional[Union[str, os.PathLike]] = None,
     environ: Optional[Mapping[str, str]] = None,
 ) -> EngineOptions:
     """Resolve the engine knobs: explicit argument > env var > default.
@@ -86,9 +92,12 @@ def resolve_engine_options(
         cache_dir = env.get("REPRO_CACHE_DIR") or None
     if shared_dir is None:
         shared_dir = env.get("REPRO_SHARED_CACHE_DIR") or None
+    if telemetry_dir is None:
+        telemetry_dir = env.get("REPRO_TELEMETRY_DIR") or None
     return EngineOptions(
         backend=backend,
         jobs=jobs,
         cache_dir=str(cache_dir) if cache_dir else None,
         shared_dir=str(shared_dir) if shared_dir else None,
+        telemetry_dir=str(telemetry_dir) if telemetry_dir else None,
     )

@@ -34,6 +34,8 @@ from repro.memory.hierarchy import bytes_per_cycle
 from repro.explore.scenarios import apply_scenario
 from repro.explore.spec import DesignPoint, StudySpec, parse_objectives
 from repro.simulation.runner import ExperimentRunner
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.tracing import get_tracer
 from repro.training.tracing import EpochTrace
 
 #: Manifest format version; bump to orphan old manifests.
@@ -310,6 +312,8 @@ class StudyRunner:
         plan = point.scale_plan()
         if plan is not None:
             metrics.update(self._scale_metrics(point, runner, plan))
+        _metrics.STUDY_POINTS.inc()
+        _metrics.STALL_FRACTION.observe(metrics["stall_fraction"])
         return PointResult(
             point_id=point.point_id,
             workload=point.workload,
@@ -412,14 +416,25 @@ class StudyRunner:
             groups.setdefault(repr(point.config()), []).append(point)
 
         done = resumed
+        tracer = get_tracer()
         for group in groups.values():
             runner = self._runner_for(group[0])
             traced = [
                 (point.workload, self._scenario_trace(point.workload, point.scenario))
                 for point in group
             ]
-            for point, model_result in zip(group, runner.run_batch(traced)):
-                record = self._measure(point, runner, model_result)
+            with tracer.span(
+                "study.batch", study=self.spec.name,
+                config=group[0].config_label, points=len(group),
+            ):
+                batch_results = runner.run_batch(traced)
+            for point, model_result in zip(group, batch_results):
+                with tracer.span(
+                    "study.point", point_id=point.point_id,
+                    workload=point.workload, scenario=point.scenario,
+                ) as span:
+                    record = self._measure(point, runner, model_result)
+                    span.set(speedup=round(record.metrics["speedup"], 6))
                 completed[point.point_id] = record
                 stored[point.point_id] = record
                 done += 1

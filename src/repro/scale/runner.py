@@ -57,6 +57,7 @@ from repro.scale.partition import (
     weight_gradient_bytes,
 )
 from repro.scale.report import DeviceResult, ScalingReport
+from repro.telemetry.tracing import get_tracer
 from repro.training.tracing import EpochTrace
 
 
@@ -149,9 +150,13 @@ class ScaleRunner:
             interconnect = Interconnect.default()
         frequency = self.config.frequency_mhz
         value_bytes = self.config.pe.value_bits // 8
+        tracer = get_tracer()
 
         # The single-device reference: the full trace on one device.
-        reference = self._simulate(epoch.layers)
+        with tracer.span(
+            "scale.reference", workload=workload, layers=len(epoch.layers)
+        ):
+            reference = self._simulate(epoch.layers)
         single_baseline, single_cycles = self._cycles(reference)
 
         if partition == "data":
@@ -159,7 +164,13 @@ class ScaleRunner:
         else:
             shards = partition_pipeline(epoch, num_devices)
 
-        shard_results = [self._simulate(shard.layers) for shard in shards]
+        shard_results = []
+        for index, shard in enumerate(shards):
+            with tracer.span(
+                "scale.device", workload=workload, device=index,
+                partition=partition, layers=len(shard.layers),
+            ):
+                shard_results.append(self._simulate(shard.layers))
         compute = [self._cycles(results) for results in shard_results]
 
         if partition == "data":

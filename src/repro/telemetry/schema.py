@@ -1,0 +1,142 @@
+"""Schema validation for telemetry JSONL records.
+
+The event log holds two record types, discriminated by ``type``:
+
+``span``
+    One finished :class:`~repro.telemetry.tracing.Span` — identifiers,
+    name, wall-clock start, duration and an attributes object.
+
+``metrics``
+    A point-in-time snapshot of a
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (the structured
+    JSON variant ``/v1/metrics?format=json`` serves).
+
+:func:`validate_record` raises :class:`TelemetryRecordError` naming the
+offending field; :func:`validate_file` walks a whole segment (or every
+segment in a telemetry directory) and is what the CI telemetry smoke
+step runs over a real run's log, so emitted records can never drift from
+what ``repro trace`` and external consumers parse.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+#: Field name -> accepted types for ``span`` records.
+_SPAN_FIELDS = {
+    "trace_id": str,
+    "span_id": str,
+    "name": str,
+    "start_s": (int, float),
+    "duration_s": (int, float),
+    "attributes": dict,
+    "pid": int,
+    "thread": str,
+}
+
+_METRICS_FIELDS = {
+    "time_s": (int, float),
+    "pid": int,
+    "metrics": dict,
+}
+
+
+class TelemetryRecordError(ValueError):
+    """An invalid telemetry record; ``field`` names the offender."""
+
+    def __init__(self, message: str, field: str):
+        super().__init__(message)
+        self.field = field
+
+
+def _require(record: Dict, fields: Dict) -> None:
+    for field, types in fields.items():
+        if field not in record:
+            raise TelemetryRecordError(f"missing field {field!r}", field)
+        value = record[field]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise TelemetryRecordError(
+                f"field {field!r} has type {type(value).__name__}, "
+                f"expected {types}", field,
+            )
+
+
+def validate_record(record: Dict) -> str:
+    """Validate one parsed record; returns its type (``span``/``metrics``)."""
+    if not isinstance(record, dict):
+        raise TelemetryRecordError(
+            f"record must be a JSON object, got {type(record).__name__}", "record"
+        )
+    kind = record.get("type")
+    if kind == "span":
+        _require(record, _SPAN_FIELDS)
+        parent = record.get("parent_id")
+        if parent is not None and not isinstance(parent, str):
+            raise TelemetryRecordError(
+                "field 'parent_id' must be a string or null", "parent_id"
+            )
+        if record["duration_s"] < 0:
+            raise TelemetryRecordError(
+                "field 'duration_s' must be non-negative", "duration_s"
+            )
+        if not record["trace_id"] or not record["span_id"]:
+            raise TelemetryRecordError(
+                "trace_id and span_id must be non-empty", "trace_id"
+            )
+    elif kind == "metrics":
+        _require(record, _METRICS_FIELDS)
+    else:
+        raise TelemetryRecordError(
+            f"unknown record type {kind!r} (expected 'span' or 'metrics')",
+            "type",
+        )
+    return kind
+
+
+def iter_records(path: Union[str, Path]) -> Iterator[Tuple[Path, int, Dict]]:
+    """Yield ``(file, line_number, parsed record)`` from a file or directory.
+
+    A directory is read as every ``*.jsonl`` segment in name order —
+    rotation order, since segments are numbered.
+    """
+    path = Path(path)
+    files: List[Path]
+    if path.is_dir():
+        files = sorted(path.glob("*.jsonl"))
+        if not files:
+            raise FileNotFoundError(f"no .jsonl segments under {path}")
+    else:
+        files = [path]
+    for file in files:
+        with open(file, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise TelemetryRecordError(
+                        f"{file}:{number}: invalid JSON: {exc}", "record"
+                    ) from exc
+                yield file, number, record
+
+
+def validate_file(path: Union[str, Path]) -> Dict[str, int]:
+    """Validate every record under ``path``; returns counts per type.
+
+    Raises :class:`TelemetryRecordError` (with file:line context) on the
+    first invalid record.
+    """
+    counts: Dict[str, int] = {}
+    for file, number, record in iter_records(path):
+        try:
+            kind = validate_record(record)
+        except TelemetryRecordError as exc:
+            raise TelemetryRecordError(
+                f"{file}:{number}: {exc}", exc.field
+            ) from exc
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts

@@ -53,6 +53,15 @@ def _post(url: str, payload):
         return error.code, json.loads(error.read())
 
 
+def _get_raw(url: str):
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return (
+            response.status,
+            response.read().decode("utf-8"),
+            response.headers.get("Content-Type"),
+        )
+
+
 class TestServe:
     def test_health_reports_version_and_endpoints(self, server_url):
         status, payload = _get(server_url + "/v1/health")
@@ -61,7 +70,17 @@ class TestServe:
         assert payload["version"] == __version__
         assert payload["schema_version"] == SCHEMA_VERSION
         assert "/v1/simulate" in payload["endpoints"]
+        assert "/v1/metrics" in payload["endpoints"]
         assert "snli" in payload["models"]
+
+    def test_health_reports_uptime_and_telemetry_status(self, server_url):
+        status, payload = _get(server_url + "/v1/health")
+        assert status == 200
+        assert payload["uptime_seconds"] >= 0.0
+        telemetry = payload["telemetry"]
+        assert telemetry["enabled"] is False
+        assert telemetry["dir"] is None
+        assert telemetry["spans_emitted"] >= 0
 
     def test_second_post_is_served_from_the_shared_cache(self, server_url):
         status, first = _post(server_url + "/v1/simulate", SIMULATE_BODY)
@@ -83,6 +102,44 @@ class TestServe:
         # Both responses parse back into validated envelopes.
         envelope = ApiResult.from_dict(second)
         assert envelope.result.model == "snli"
+
+    def test_metrics_prometheus_exposition(self, server_url):
+        _post(server_url + "/v1/simulate", SIMULATE_BODY)
+        status, text, content_type = _get_raw(server_url + "/v1/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        lines = text.splitlines()
+        assert "# TYPE repro_requests_total counter" in lines
+        assert "# TYPE repro_request_seconds histogram" in lines
+        assert any(
+            line.startswith('repro_requests_total{kind="simulate"}')
+            for line in lines
+        )
+        # Histogram series carry le buckets plus _sum/_count.
+        assert any(
+            line.startswith('repro_request_seconds_bucket{kind="simulate",le=')
+            for line in lines
+        )
+        assert any(
+            line.startswith('repro_request_seconds_count{kind="simulate"}')
+            for line in lines
+        )
+        # The cache hierarchy is pre-seeded: every tier has a series.
+        for tier in ("memo", "shared", "disk"):
+            assert f'repro_cache_hits_total{{tier="{tier}"}}' in text
+
+    def test_metrics_json_variant(self, server_url):
+        _get(server_url + "/v1/health")
+        status, payload = _get(server_url + "/v1/metrics?format=json")
+        assert status == 200
+        requests_total = payload["repro_requests_total"]
+        assert requests_total["type"] == "counter"
+        http = payload["repro_http_requests_total"]
+        assert any(
+            series["labels"] == {"method": "GET", "status": "200"}
+            and series["value"] >= 1
+            for series in http["values"]
+        )
 
     def test_kind_is_implied_by_the_path(self, server_url):
         body = dict(SIMULATE_BODY)
@@ -138,6 +195,46 @@ class TestServe:
         assert status == 200
         assert payload["kind"] == "sweep"
         assert len(payload["result"]["study"]["points"]) == 2
+
+
+class TestAccessLog:
+    def _serve(self, access_log=None):
+        server = create_server(port=0, session=Session(), quiet=True,
+                               access_log=access_log)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://{server.server_address[0]}:{server.server_address[1]}"
+        return server, thread, url
+
+    def test_access_log_writes_structured_records(self, tmp_path):
+        log_path = tmp_path / "logs" / "access.jsonl"
+        server, thread, url = self._serve(access_log=log_path)
+        try:
+            _get(url + "/v1/health")
+            _post(url + "/v1/simulate", SIMULATE_BODY)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+        records = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        assert [(r["method"], r["path"], r["status"]) for r in records] == [
+            ("GET", "/v1/health", 200),
+            ("POST", "/v1/simulate", 200),
+        ]
+        for record in records:
+            assert record["duration_ms"] >= 0.0
+            assert record["response_bytes"] > 0
+            assert record["client"]
+        assert records[1]["request_bytes"] > 0
+
+    def test_access_log_is_off_by_default(self, server_url, tmp_path):
+        # The module fixture's server has no access_log: requests succeed
+        # and nothing is written anywhere (the handle stays None).
+        status, _ = _get(server_url + "/v1/health")
+        assert status == 200
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestStudyRoot:
