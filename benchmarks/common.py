@@ -18,7 +18,9 @@ environment variables steer it without touching any benchmark:
   (default ``vectorized``; all backends are bit-identical);
 * ``REPRO_JOBS`` — worker count for the parallel backend;
 * ``REPRO_CACHE_DIR`` — enable the on-disk result cache so repeated
-  harness runs skip already-simulated layers.
+  harness runs skip already-simulated layers;
+* ``REPRO_STUDY_JOBS`` — worker processes for study-level parallelism
+  in the DSE benchmark (:func:`study_kwargs`).
 """
 
 from __future__ import annotations
@@ -55,6 +57,24 @@ def engine_kwargs() -> Dict[str, object]:
         "backend": options.backend,
         "jobs": options.jobs,
         "cache_dir": options.cache_dir,
+    }
+
+
+def study_kwargs() -> Dict[str, object]:
+    """Study-runner configuration: engine knobs plus ``study_jobs``.
+
+    Same single-resolution rule as :func:`engine_kwargs` — the
+    ``REPRO_STUDY_JOBS`` / ``REPRO_SHARED_CACHE_DIR`` environment
+    variables steer study-level parallelism identically for the CLI, the
+    API session and the benchmark harness.
+    """
+    from repro.engine.options import resolve_engine_options
+
+    options = resolve_engine_options()
+    return {
+        **engine_kwargs(),
+        "study_jobs": options.study_jobs,
+        "shared_dir": options.shared_dir,
     }
 
 #: The models the headline per-model figures sweep (paper order).

@@ -32,6 +32,13 @@ share one engine — the second client POSTing a workload the first already
 ran gets pure cache hits, visible both in its own envelope's ``engine``
 delta and in ``/v1/stats``.
 
+Study requests (``/v1/sweep`` / ``/v1/explore``) may carry a
+``study_jobs`` field to fan their points across worker processes; it
+passes straight through to the session (``--study-jobs`` /
+``REPRO_STUDY_JOBS`` set the server-wide default), and each worker's
+engine joins the server's shared cache tier when one is configured —
+see ``docs/performance.md``.
+
 Invalid documents return ``400`` with ``{"error": ..., "field": ...}``
 naming the offending field; unknown paths return ``404`` listing the
 routes.  Unexpected faults return ``500`` with the exception text.

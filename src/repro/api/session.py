@@ -85,6 +85,11 @@ class Session:
         process-wide span tracer (:mod:`repro.telemetry`) and every
         ``submit`` then records a ``session.submit`` span tree plus a
         metrics snapshot to the JSONL event log there.
+    study_jobs:
+        Default worker-process count for study execution (``repro
+        explore`` / ``repro sweep``); ``None`` falls back to
+        ``REPRO_STUDY_JOBS``, then serial.  Per-request ``study_jobs``
+        fields override it.
     seed:
         Default model/dataset seed for requests that leave ``seed``
         unset (the CLI default is 0, so identical invocations produce
@@ -107,6 +112,7 @@ class Session:
         cache_dir: Optional[str] = None,
         shared_dir: Optional[str] = None,
         telemetry_dir: Optional[str] = None,
+        study_jobs: Optional[int] = None,
         seed: int = 0,
         environ: Optional[Dict[str, str]] = None,
         max_cached_traces: int = 16,
@@ -114,7 +120,7 @@ class Session:
         self.options: EngineOptions = resolve_engine_options(
             backend=backend, jobs=jobs, cache_dir=cache_dir,
             shared_dir=shared_dir, telemetry_dir=telemetry_dir,
-            environ=environ,
+            study_jobs=study_jobs, environ=environ,
         )
         if self.options.telemetry_dir:
             # Enable (or reuse) the process-wide tracer; sessions built
@@ -419,8 +425,15 @@ class Session:
             report=report.as_dict(),
         )
 
-    def _study_runner(self, spec, study_dir=None, emit_trace=True):
-        """A study runner wired onto the session engine and trace cache."""
+    def _study_runner(self, spec, study_dir=None, emit_trace=True,
+                      study_jobs=None):
+        """A study runner wired onto the session engine and trace cache.
+
+        ``study_jobs`` (a per-request override, else the session's
+        resolved option) fans point groups across worker processes;
+        workers inherit the session's shared-tier directory so they
+        collapse duplicate work with the warm parent engine.
+        """
         from repro.explore.runner import StudyRunner
 
         def trace_fn(workload: str):
@@ -430,6 +443,8 @@ class Session:
                 trace_max_batch=spec.trace_max_batch,
             )
 
+        if study_jobs is None:
+            study_jobs = self.options.study_jobs
         return StudyRunner(
             spec,
             study_dir=study_dir,
@@ -437,6 +452,8 @@ class Session:
             jobs=self.options.jobs,
             cache_dir=self.options.cache_dir,
             engine=self.engine,
+            study_jobs=study_jobs,
+            shared_dir=self.options.shared_dir,
             trace_fn=trace_fn,
         )
 
@@ -463,8 +480,13 @@ class Session:
             objectives=objectives,
         )
         emit(f"Training {request.model} once; sweeping {request.knob} over {values}...")
-        runner = self._study_runner(spec)
+        runner = self._study_runner(spec, study_jobs=request.study_jobs)
         study = runner.run()
+        # Points executed in study worker processes never touched this
+        # engine's counters; fold the exact per-worker deltas in so the
+        # request envelope and /v1/stats stay truthful under --study-jobs.
+        for delta in runner.worker_stats:
+            self.engine.stats.absorb(delta)
         return SweepResult(
             model=request.model,
             knob=request.knob,
@@ -476,7 +498,9 @@ class Session:
         from repro.explore.report import study_to_dict
 
         spec = request.resolved_spec()
-        runner = self._study_runner(spec, study_dir=request.study_dir)
+        runner = self._study_runner(
+            spec, study_dir=request.study_dir, study_jobs=request.study_jobs
+        )
         # Studies with a study_dir persist layer results on disk (the
         # PR 2 contract: a killed study resumes in a *new process* with
         # layer-level cache hits).  The shared engine normally has no
@@ -486,4 +510,8 @@ class Session:
         with self.engine.disk_cache(study_cache) as engine:
             self._request_cache_dir = engine.stats.cache_dir
             study = runner.run(resume=request.resume, progress=progress)
+        # As in _run_sweep: worker-process simulation is invisible to the
+        # session engine until its exact deltas are absorbed.
+        for delta in runner.worker_stats:
+            self.engine.stats.absorb(delta)
         return ExploreResult(study=study_to_dict(study, request.objectives))

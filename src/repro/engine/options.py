@@ -8,16 +8,18 @@ programmatic :class:`repro.api.Session`, the benchmark harness:
 * **cache_dir** — on-disk result-cache directory;
 * **shared_dir** — cross-process shared memo-tier directory;
 * **telemetry_dir** — span/metrics event-log directory
-  (:mod:`repro.telemetry`).
+  (:mod:`repro.telemetry`);
+* **study_jobs** — worker processes a design-space study fans its
+  point groups across (:class:`repro.explore.StudyExecutor`).
 
 :func:`resolve_engine_options` is the single place their precedence is
 decided: an explicit argument wins, then the ``REPRO_BACKEND`` /
 ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_SHARED_CACHE_DIR`` /
-``REPRO_TELEMETRY_DIR`` environment variables, then the defaults
-(``vectorized``, auto-sized pool, no caches, telemetry disabled).  Every
-caller goes through this helper, so setting ``REPRO_BACKEND=reference``
-steers the CLI, a long-lived API session and a benchmark run
-identically.
+``REPRO_TELEMETRY_DIR`` / ``REPRO_STUDY_JOBS`` environment variables,
+then the defaults (``vectorized``, auto-sized pool, no caches, telemetry
+disabled, serial studies).  Every caller goes through this helper, so
+setting ``REPRO_BACKEND=reference`` steers the CLI, a long-lived API
+session and a benchmark run identically.
 """
 
 from __future__ import annotations
@@ -39,6 +41,8 @@ class EngineOptions:
     cache_dir: Optional[str] = None
     shared_dir: Optional[str] = None
     telemetry_dir: Optional[str] = None
+    #: Worker processes for study execution; ``None`` means serial (1).
+    study_jobs: Optional[int] = None
 
     def as_dict(self) -> dict:
         """JSON-friendly view for health/stats payloads."""
@@ -48,6 +52,7 @@ class EngineOptions:
             "cache_dir": self.cache_dir,
             "shared_dir": self.shared_dir,
             "telemetry_dir": self.telemetry_dir,
+            "study_jobs": self.study_jobs,
         }
 
 
@@ -57,6 +62,7 @@ def resolve_engine_options(
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     shared_dir: Optional[Union[str, os.PathLike]] = None,
     telemetry_dir: Optional[Union[str, os.PathLike]] = None,
+    study_jobs: Optional[int] = None,
     environ: Optional[Mapping[str, str]] = None,
 ) -> EngineOptions:
     """Resolve the engine knobs: explicit argument > env var > default.
@@ -88,6 +94,18 @@ def resolve_engine_options(
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
 
+    if study_jobs is None:
+        raw = env.get("REPRO_STUDY_JOBS")
+        if raw:
+            try:
+                study_jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_STUDY_JOBS must be an integer, got {raw!r}"
+                ) from None
+    if study_jobs is not None and study_jobs < 1:
+        raise ValueError(f"study_jobs must be >= 1, got {study_jobs}")
+
     if cache_dir is None:
         cache_dir = env.get("REPRO_CACHE_DIR") or None
     if shared_dir is None:
@@ -100,4 +118,5 @@ def resolve_engine_options(
         cache_dir=str(cache_dir) if cache_dir else None,
         shared_dir=str(shared_dir) if shared_dir else None,
         telemetry_dir=str(telemetry_dir) if telemetry_dir else None,
+        study_jobs=study_jobs,
     )

@@ -9,12 +9,23 @@ zero re-simulation.  Points sharing an accelerator configuration are
 batched into one engine pass (:meth:`ExperimentRunner.run_batch`), which
 lets the parallel backend shard across workloads.
 
-Studies are resumable: with a ``study_dir`` the runner checkpoints a
-manifest after every completed point (spec fingerprint + per-point
-metrics) and defaults the engine cache into the same directory.  A
-killed study restarted with ``resume=True`` skips every finished point
-via the manifest, and layers simulated before the kill come back as
-cache hits — nothing is ever simulated twice.
+Studies are resumable: with a ``study_dir`` the runner appends one
+fsync'd JSONL record per completed point to a manifest *segment*
+(checkpoint cost is O(N) over the study, not O(N²) of rewriting a
+manifest per point) and defaults the engine cache into the same
+directory.  The segment is compacted into the classic ``manifest.json``
+at study end and on resume; a killed study restarted with
+``resume=True`` reloads the union of compacted + appended records and
+skips every finished point, and layers simulated before the kill come
+back as cache hits — nothing is ever simulated twice.  Manifests
+written before the segment existed still load unchanged.
+
+With ``study_jobs > 1`` the remaining point groups fan out across a
+pool of worker processes (:class:`~repro.explore.executor.StudyExecutor`),
+each owning an engine on the same disk cache and optional shared memo
+tier; results merge deterministically in point order and per-worker
+engine stats aggregate exactly.  ``study_jobs=1`` (the default) is
+byte-for-byte today's serial path.
 """
 
 from __future__ import annotations
@@ -137,6 +148,15 @@ class StudyRunner:
         point through (backend/jobs/cache args then only label reports).
         This is how :class:`repro.api.Session` makes studies share its
         warm cache.
+    study_jobs:
+        Worker processes to fan point groups across; ``None`` or ``1``
+        runs serially in this process.  Workers are extra processes on
+        top of the engine's own ``jobs`` pool — see
+        ``docs/performance.md`` for budgeting the product.
+    shared_dir:
+        Cross-process shared memo tier directory handed to every worker
+        engine (the parent's injected engine is not reconfigured).  With
+        ``study_jobs <= 1`` this is unused.
     trace_fn:
         Optional ``workload name -> TrainingTrace`` provider overriding
         the built-in train-and-trace step — e.g. a session-level trace
@@ -151,13 +171,19 @@ class StudyRunner:
         jobs: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         engine=None,
+        study_jobs: Optional[int] = None,
+        shared_dir: Optional[Union[str, Path]] = None,
         trace_fn: Optional[Callable[[str], object]] = None,
     ):
+        if study_jobs is not None and study_jobs < 1:
+            raise ValueError(f"study_jobs must be >= 1, got {study_jobs}")
         self.spec = spec
         self.study_dir = Path(study_dir) if study_dir else None
         self.backend = backend
         self.jobs = jobs
         self.engine = engine
+        self.study_jobs = study_jobs or 1
+        self.shared_dir = str(shared_dir) if shared_dir else None
         self._trace_fn = trace_fn
         if self.study_dir is not None:
             try:
@@ -172,6 +198,8 @@ class StudyRunner:
         self._traces: Dict[str, object] = {}
         self._scenario_traces: Dict[tuple, EpochTrace] = {}
         self._runners: "OrderedDict[str, ExperimentRunner]" = OrderedDict()
+        self._worker_stats: List[EngineStats] = []
+        self._segment_handle = None
 
     # ------------------------------------------------------------------
     @property
@@ -181,26 +209,122 @@ class StudyRunner:
             return None
         return self.study_dir / "manifest.json"
 
-    def _load_manifest(self) -> Dict[str, PointResult]:
-        path = self.manifest_path
-        if path is None or not path.exists():
-            return {}
-        payload = json.loads(path.read_text())
-        if payload.get("version") != MANIFEST_VERSION:
-            return {}
-        if payload.get("spec_fingerprint") != self.spec.fingerprint():
+    @property
+    def segment_path(self) -> Optional[Path]:
+        """The append-only JSONL checkpoint segment for the current run."""
+        if self.study_dir is None:
+            return None
+        return self.study_dir / "manifest.segment.jsonl"
+
+    @property
+    def worker_stats(self) -> List[EngineStats]:
+        """Exact per-chunk engine-stats deltas reported by study workers.
+
+        Empty after a serial run.  Work done in worker processes never
+        touches the parent engine's counters, so callers owning that
+        engine (e.g. a :class:`repro.api.Session`) must absorb these to
+        keep their own per-request deltas exact.
+        """
+        return list(self._worker_stats)
+
+    def _check_fingerprint(self, fingerprint, path: Path) -> None:
+        if fingerprint != self.spec.fingerprint():
             raise StudyResumeError(
                 f"study manifest {path} was written for a different spec "
-                f"(fingerprint {payload.get('spec_fingerprint')!r} != "
+                f"(fingerprint {fingerprint!r} != "
                 f"{self.spec.fingerprint()!r}); use a fresh --study-dir or "
                 f"rerun without --resume"
             )
-        return {
-            point_id: PointResult.from_dict(record)
-            for point_id, record in payload.get("completed", {}).items()
-        }
 
-    def _checkpoint(self, completed: Dict[str, PointResult]) -> None:
+    def _load_manifest(self) -> Dict[str, PointResult]:
+        """Every checkpointed record: compacted manifest ∪ appended segment.
+
+        Pre-segment manifests (just ``manifest.json``) load unchanged;
+        segment records win on point-id collision (they are newer).
+        """
+        path = self.manifest_path
+        if path is None:
+            return {}
+        records: Dict[str, PointResult] = {}
+        if path.exists():
+            payload = json.loads(path.read_text())
+            if payload.get("version") == MANIFEST_VERSION:
+                self._check_fingerprint(payload.get("spec_fingerprint"), path)
+                records = {
+                    point_id: PointResult.from_dict(record)
+                    for point_id, record in payload.get("completed", {}).items()
+                }
+        records.update(self._load_segment())
+        return records
+
+    def _load_segment(self) -> Dict[str, PointResult]:
+        path = self.segment_path
+        if path is None or not path.exists():
+            return {}
+        records: Dict[str, PointResult] = {}
+        header_seen = False
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill can truncate the final append mid-line;
+                    # every complete record before it is still good.
+                    break
+                if not header_seen:
+                    header_seen = True
+                    if (
+                        entry.get("kind") != "header"
+                        or entry.get("version") != MANIFEST_VERSION
+                    ):
+                        return {}
+                    self._check_fingerprint(entry.get("spec_fingerprint"), path)
+                    continue
+                if entry.get("kind") == "point":
+                    record = PointResult.from_dict(entry["record"])
+                    records[record.point_id] = record
+        return records
+
+    def _open_segment(self) -> None:
+        """Start a fresh segment for this run (prior ones were compacted)."""
+        path = self.segment_path
+        if path is None:
+            return
+        handle = path.open("w")
+        header = {
+            "kind": "header",
+            "version": MANIFEST_VERSION,
+            "spec_fingerprint": self.spec.fingerprint(),
+        }
+        handle.write(json.dumps(header) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._segment_handle = handle
+
+    def _append_segment(self, record: PointResult) -> None:
+        """Checkpoint one completed point: a single fsync'd JSONL append."""
+        handle = self._segment_handle
+        if handle is None:
+            return
+        handle.write(json.dumps({"kind": "point", "record": record.to_dict()}) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def _close_segment(self) -> None:
+        if self._segment_handle is not None:
+            self._segment_handle.close()
+            self._segment_handle = None
+
+    def _compact(self, completed: Dict[str, PointResult]) -> None:
+        """One atomic ``manifest.json`` rewrite; the segment is folded in.
+
+        Runs at study end and when a resume finds appended records, so
+        steady state is always a single compact manifest — and per-point
+        checkpoint cost stays an O(1) append in between.
+        """
         path = self.manifest_path
         if path is None:
             return
@@ -227,6 +351,10 @@ class StudyRunner:
             except OSError:
                 pass
             raise
+        self._close_segment()
+        segment = self.segment_path
+        if segment is not None and segment.exists():
+            segment.unlink()
 
     # ------------------------------------------------------------------
     def _trace(self, workload: str):
@@ -312,8 +440,6 @@ class StudyRunner:
         plan = point.scale_plan()
         if plan is not None:
             metrics.update(self._scale_metrics(point, runner, plan))
-        _metrics.STUDY_POINTS.inc()
-        _metrics.STALL_FRACTION.observe(metrics["stall_fraction"])
         return PointResult(
             point_id=point.point_id,
             workload=point.workload,
@@ -367,6 +493,37 @@ class StudyRunner:
             "comm_fraction": report.comm_fraction,
         }
 
+    def _execute_group(self, group: List[DesignPoint]) -> List[PointResult]:
+        """Run one same-config point group through a batched engine pass.
+
+        Pure compute: no checkpointing or metrics — the caller records
+        each result (in the parent process, whichever process executed
+        the group).  Spans still trace the work; inside a study worker
+        the tracer is disabled, so only parent-side spans reach the log.
+        """
+        tracer = get_tracer()
+        runner = self._runner_for(group[0])
+        traced = [
+            (point.workload, self._scenario_trace(point.workload, point.scenario))
+            for point in group
+        ]
+        with tracer.span(
+            "study.batch", study=self.spec.name,
+            config=group[0].config_label, points=len(group),
+        ):
+            batch_results = runner.run_batch(traced)
+        records = []
+        for point, model_result in zip(group, batch_results):
+            with tracer.span(
+                "study.point", point_id=point.point_id,
+                workload=point.workload, scenario=point.scenario,
+                worker=0,
+            ) as span:
+                record = self._measure(point, runner, model_result)
+                span.set(speedup=round(record.metrics["speedup"], 6))
+            records.append(record)
+        return records
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -402,6 +559,11 @@ class StudyRunner:
                 for point_id, record in stored.items()
                 if point_id in valid_ids
             }
+            segment = self.segment_path
+            if segment is not None and segment.exists():
+                # Fold interrupted-run appends into the compact manifest
+                # now, so a segment never survives two generations.
+                self._compact(stored)
         resumed = len(completed)
         if resumed:
             emit(f"resuming: {resumed}/{len(points)} points already complete")
@@ -416,31 +578,59 @@ class StudyRunner:
             groups.setdefault(repr(point.config()), []).append(point)
 
         done = resumed
+        total = len(points)
         tracer = get_tracer()
-        for group in groups.values():
-            runner = self._runner_for(group[0])
-            traced = [
-                (point.workload, self._scenario_trace(point.workload, point.scenario))
-                for point in group
-            ]
-            with tracer.span(
-                "study.batch", study=self.spec.name,
-                config=group[0].config_label, points=len(group),
-            ):
-                batch_results = runner.run_batch(traced)
-            for point, model_result in zip(group, batch_results):
+
+        def record_point(record: PointResult) -> None:
+            nonlocal done
+            completed[record.point_id] = record
+            stored[record.point_id] = record
+            self._append_segment(record)
+            _metrics.STUDY_POINTS.inc()
+            _metrics.STALL_FRACTION.observe(record.metrics["stall_fraction"])
+            done += 1
+            emit(f"[{done}/{total}] {record.label}: "
+                 f"speedup {record.metrics['speedup']:.3f}x")
+
+        def merge_unit(records, stats, worker: int) -> None:
+            for record in records:
                 with tracer.span(
-                    "study.point", point_id=point.point_id,
-                    workload=point.workload, scenario=point.scenario,
+                    "study.point", point_id=record.point_id,
+                    workload=record.workload, scenario=record.scenario,
+                    worker=worker,
                 ) as span:
-                    record = self._measure(point, runner, model_result)
                     span.set(speedup=round(record.metrics["speedup"], 6))
-                completed[point.point_id] = record
-                stored[point.point_id] = record
-                done += 1
-                emit(f"[{done}/{len(points)}] {record.label}: "
-                     f"speedup {record.metrics['speedup']:.3f}x")
-                self._checkpoint(stored)
+                record_point(record)
+            if stats is not None:
+                self._worker_stats.append(stats)
+
+        workers = 0
+        try:
+            self._open_segment()
+            if self.study_jobs > 1 and groups:
+                from repro.explore.executor import StudyExecutor
+
+                # Workers never train — memoize every scenario trace
+                # here so the payload ships them ready-made.
+                for group in groups.values():
+                    for point in group:
+                        self._scenario_trace(point.workload, point.scenario)
+                executor = StudyExecutor(self, jobs=self.study_jobs)
+                workers = executor.run(list(groups.values()), merge_unit)
+            _metrics.STUDY_WORKERS.set(workers or 1)
+            # Serial path — and the exact finisher for anything a broken
+            # pool left behind (completed points are skipped).
+            for group in groups.values():
+                pending = [
+                    point for point in group if point.point_id not in completed
+                ]
+                if not pending:
+                    continue
+                for record in self._execute_group(pending):
+                    record_point(record)
+        finally:
+            self._close_segment()
+        self._compact(stored)
 
         results = [completed[point.point_id] for point in points]
         return StudyResult(
@@ -451,13 +641,16 @@ class StudyRunner:
         )
 
     def _aggregate_stats(self) -> EngineStats:
-        """Engine counters summed across every per-config runner.
+        """Engine counters summed across every per-config runner + worker.
 
         Runners sharing one injected engine contribute its counters only
         once (the counters are engine-level, not per-runner) — but note
         that a shared engine's totals then cover the engine's whole
         lifetime, not just this study; callers wanting per-study numbers
-        should snapshot/diff with :meth:`EngineStats.since`.
+        should snapshot/diff with :meth:`EngineStats.since`.  Study
+        workers report an exact per-chunk delta as results merge, so the
+        parallel totals match what one engine doing all the work would
+        have counted.
         """
         totals = EngineStats(
             backend=self.backend, jobs=self.jobs or 1, cache_dir=self.cache_dir
@@ -471,6 +664,8 @@ class StudyRunner:
             totals.layers_simulated += stats.layers_simulated
             totals.cache_hits += stats.cache_hits
             totals.cache_misses += stats.cache_misses
+        for delta in self._worker_stats:
+            totals.absorb(delta)
         return totals
 
 
@@ -481,10 +676,18 @@ def run_study(
     backend: str = "vectorized",
     jobs: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    study_jobs: Optional[int] = None,
+    shared_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> StudyResult:
     """One-call convenience wrapping :class:`StudyRunner`."""
     runner = StudyRunner(
-        spec, study_dir=study_dir, backend=backend, jobs=jobs, cache_dir=cache_dir
+        spec,
+        study_dir=study_dir,
+        backend=backend,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        study_jobs=study_jobs,
+        shared_dir=shared_dir,
     )
     return runner.run(resume=resume, progress=progress)
