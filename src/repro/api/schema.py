@@ -643,3 +643,123 @@ class ApiResult(_ApiModel):
             engine=dict(engine),
             elapsed_seconds=payload.get("elapsed_seconds", 0.0),
         )
+
+
+# ----------------------------------------------------------------------
+# asynchronous jobs (repro.jobs)
+
+#: Lifecycle states of an asynchronous job (see :mod:`repro.jobs`).
+JOB_STATES = ("queued", "running", "succeeded", "failed", "cancelled")
+
+#: States a job can never leave once entered.
+JOB_TERMINAL_STATES = ("succeeded", "failed", "cancelled")
+
+
+def _check_optional_time(owner: str, name: str, value: Any) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaError(f"{owner}.{name}", f"expected a timestamp, got {value!r}")
+    if not math.isfinite(value) or value < 0:
+        raise SchemaError(
+            f"{owner}.{name}", f"expected a non-negative timestamp, got {value!r}"
+        )
+
+
+@dataclass
+class JobRecord(_ApiModel):
+    """Wire envelope describing one asynchronous job's current state.
+
+    Served by ``GET /v1/jobs`` / ``GET /v1/jobs/<id>`` and returned
+    (status 202) by ``POST /v1/jobs``.  ``request_kind`` names the
+    wrapped request's wire tag; ``request`` is its full document, so an
+    operator can resubmit a job from its record alone.  ``events`` is
+    the count of progress/state events recorded so far — the SSE stream
+    at ``/v1/jobs/<id>/events`` replays them by sequence number.
+    """
+
+    kind: ClassVar[str] = "job"
+
+    job_id: str
+    request_kind: str
+    state: str
+    created_s: float
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    error: Optional[str] = None
+    cancel_requested: bool = False
+    events: int = 0
+    request: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_str(owner, "job_id", self.job_id)
+        if self.request_kind not in REQUEST_TYPES:
+            raise SchemaError(
+                f"{owner}.request_kind",
+                f"unknown kind {self.request_kind!r}; known: {sorted(REQUEST_TYPES)}",
+            )
+        if self.state not in JOB_STATES:
+            raise SchemaError(
+                f"{owner}.state",
+                f"unknown state {self.state!r}; known: {list(JOB_STATES)}",
+            )
+        _check_optional_time(owner, "created_s", self.created_s)
+        if self.created_s is None:
+            raise SchemaError(f"{owner}.created_s", "required field is missing")
+        _check_optional_time(owner, "started_s", self.started_s)
+        _check_optional_time(owner, "finished_s", self.finished_s)
+        if self.error is not None:
+            _check_str(owner, "error", self.error)
+        if not isinstance(self.cancel_requested, bool):
+            raise SchemaError(
+                f"{owner}.cancel_requested",
+                f"expected a boolean, got {self.cancel_requested!r}",
+            )
+        _check_int(owner, "events", self.events, minimum=0)
+        if not isinstance(self.request, dict):
+            raise SchemaError(
+                f"{owner}.request", f"expected an object, got {self.request!r}"
+            )
+
+
+@dataclass
+class JobResult(_ApiModel):
+    """Wire envelope for a finished job (``GET /v1/jobs/<id>/result``).
+
+    ``result`` is the :class:`ApiResult` envelope document of a
+    succeeded job — byte-identical in content to what the blocking
+    ``/v1/<kind>`` route would have returned — and ``None`` for failed
+    or cancelled jobs, whose ``error`` (when failed) says why.
+    """
+
+    kind: ClassVar[str] = "job_result"
+
+    job_id: str
+    state: str
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        _check_str(owner, "job_id", self.job_id)
+        if self.state not in JOB_TERMINAL_STATES:
+            raise SchemaError(
+                f"{owner}.state",
+                f"expected a terminal state {list(JOB_TERMINAL_STATES)}, "
+                f"got {self.state!r}",
+            )
+        if self.state == "succeeded":
+            if not isinstance(self.result, dict):
+                raise SchemaError(
+                    f"{owner}.result",
+                    f"a succeeded job carries its ApiResult document, "
+                    f"got {self.result!r}",
+                )
+        elif self.result is not None:
+            raise SchemaError(
+                f"{owner}.result",
+                f"only succeeded jobs carry a result, state is {self.state!r}",
+            )
+        if self.error is not None:
+            _check_str(owner, "error", self.error)

@@ -69,6 +69,12 @@ from repro.telemetry.tracing import get_tracer
 
 Progress = Optional[Callable[[str], None]]
 
+#: Structured per-unit-of-work hook: receives one dict per completed
+#: study point (or scale reference/device pass).  Unlike ``progress``
+#: (human-readable lines), events are machine-shaped — the job layer
+#: forwards them verbatim onto each job's SSE stream.
+EventHook = Optional[Callable[[Dict], None]]
+
 
 class Session:
     """A long-lived facade over one simulation engine.
@@ -193,14 +199,22 @@ class Session:
     # ------------------------------------------------------------------
     # public API
 
-    def submit(self, request: _ApiModel, progress: Progress = None) -> ApiResult:
+    def submit(
+        self, request: _ApiModel, progress: Progress = None,
+        on_event: EventHook = None,
+    ) -> ApiResult:
         """Execute any request and return its :class:`ApiResult` envelope.
 
         ``progress`` receives human-readable status lines (training
         banners, per-point study progress); pass ``print`` for CLI-style
-        output, ``None`` for silence.  The envelope's ``engine`` field is
-        the stats *delta* for this request alone, so cache effectiveness
-        stays observable on a shared warm engine.
+        output, ``None`` for silence.  ``on_event`` receives one
+        structured dict per completed study point or scale device pass —
+        the hook the job layer (:mod:`repro.jobs`) turns into SSE
+        events; either callback may raise to abort the request at that
+        boundary (how cooperative job cancellation works).  The
+        envelope's ``engine`` field is the stats *delta* for this
+        request alone, so cache effectiveness stays observable on a
+        shared warm engine.
         """
         handler = self._handlers.get(getattr(request, "kind", None))
         if handler is None:
@@ -218,7 +232,7 @@ class Session:
                 "session.submit", kind=request.kind,
                 model=getattr(request, "model", None),
             ) as span:
-                result = handler(request, progress)
+                result = handler(request, progress, on_event)
                 elapsed = time.perf_counter() - start
                 delta = self.engine.stats.since(before)
                 span.set(
@@ -305,7 +319,10 @@ class Session:
     # ------------------------------------------------------------------
     # request handlers
 
-    def _run_simulate(self, request: SimulateRequest, progress: Progress) -> SimulateResult:
+    def _run_simulate(
+        self, request: SimulateRequest, progress: Progress,
+        on_event: EventHook = None,
+    ) -> SimulateResult:
         emit = progress or (lambda message: None)
         config = AcceleratorConfig().with_pe(datatype=request.datatype)
         emit(f"Accelerator: {config.describe()}")
@@ -327,7 +344,10 @@ class Session:
             overall_energy_efficiency=report.overall_efficiency,
         )
 
-    def _run_roofline(self, request: RooflineRequest, progress: Progress) -> RooflineResult:
+    def _run_roofline(
+        self, request: RooflineRequest, progress: Progress,
+        on_event: EventHook = None,
+    ) -> RooflineResult:
         from repro.analysis.roofline import roofline_report
 
         emit = progress or (lambda message: None)
@@ -371,7 +391,10 @@ class Session:
             compute_speedup=compute_speedup,
         )
 
-    def _run_scale(self, request: ScaleRequest, progress: Progress) -> ScaleResult:
+    def _run_scale(
+        self, request: ScaleRequest, progress: Progress,
+        on_event: EventHook = None,
+    ) -> ScaleResult:
         from repro.scale import Interconnect, ScaleRunner
 
         emit = progress or (lambda message: None)
@@ -410,6 +433,7 @@ class Session:
             num_devices=request.num_devices,
             partition=request.partition,
             interconnect=interconnect,
+            on_event=on_event,
         )
         return ScaleResult(
             model=request.model,
@@ -457,7 +481,10 @@ class Session:
             trace_fn=trace_fn,
         )
 
-    def _run_sweep(self, request: SweepRequest, progress: Progress) -> SweepResult:
+    def _run_sweep(
+        self, request: SweepRequest, progress: Progress,
+        on_event: EventHook = None,
+    ) -> SweepResult:
         from repro.explore.report import study_to_dict
         from repro.explore.spec import SCALE_KNOBS, StudySpec
 
@@ -481,7 +508,7 @@ class Session:
         )
         emit(f"Training {request.model} once; sweeping {request.knob} over {values}...")
         runner = self._study_runner(spec, study_jobs=request.study_jobs)
-        study = runner.run()
+        study = runner.run(on_event=on_event)
         # Points executed in study worker processes never touched this
         # engine's counters; fold the exact per-worker deltas in so the
         # request envelope and /v1/stats stay truthful under --study-jobs.
@@ -494,7 +521,10 @@ class Session:
             study=study_to_dict(study),
         )
 
-    def _run_explore(self, request: ExploreRequest, progress: Progress) -> ExploreResult:
+    def _run_explore(
+        self, request: ExploreRequest, progress: Progress,
+        on_event: EventHook = None,
+    ) -> ExploreResult:
         from repro.explore.report import study_to_dict
 
         spec = request.resolved_spec()
@@ -509,7 +539,9 @@ class Session:
         study_cache = Path(request.study_dir) / "cache" if request.study_dir else None
         with self.engine.disk_cache(study_cache) as engine:
             self._request_cache_dir = engine.stats.cache_dir
-            study = runner.run(resume=request.resume, progress=progress)
+            study = runner.run(
+                resume=request.resume, progress=progress, on_event=on_event
+            )
         # As in _run_sweep: worker-process simulation is invisible to the
         # session engine until its exact deltas are absorbed.
         for delta in runner.worker_stats:

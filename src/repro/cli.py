@@ -48,9 +48,22 @@ JSON to a running ``repro serve``.
     Start the batch simulation service: concurrent clients POST request
     documents to ``/v1/simulate`` etc. and share one warm session, so a
     workload any client already ran returns as pure cache hits.
+    ``POST /v1/jobs`` runs any request asynchronously on a worker pool
+    (``--job-workers``) with SSE progress streams, cooperative
+    cancellation and TTL result retention (``--job-retention``);
+    ``--audit-log`` records every job state transition.
     ``GET /v1/metrics`` serves the process metrics registry in
     Prometheus text format; ``--access-log`` appends one structured
-    JSON line per response.
+    JSON line per response.  SIGTERM/SIGINT shut down gracefully,
+    draining running jobs up to ``--drain-seconds``.
+
+``jobs``
+    Client for a running server's asynchronous job API: ``jobs list``
+    tabulates the store, ``jobs show ID`` prints one record, ``jobs
+    watch ID`` follows the job's Server-Sent-Events progress stream
+    until it finishes, and ``jobs cancel ID`` requests cooperative
+    cancellation.  ``--url`` points them at the server (default
+    ``http://127.0.0.1:8000``).  See ``docs/jobs.md``.
 
 ``trace``
     Render the span tree of a recorded telemetry run: point it at a
@@ -102,6 +115,10 @@ Examples
     python -m repro serve --port 8000
     curl -X POST http://127.0.0.1:8000/v1/simulate \\
         -d '{"model": "snli", "epochs": 1}'
+    curl -X POST http://127.0.0.1:8000/v1/jobs \\
+        -d '{"kind": "simulate", "model": "snli", "epochs": 1}'
+    python -m repro jobs list
+    python -m repro jobs watch a1b2c3d4e5f6
     python -m repro simulate snli --telemetry-dir /tmp/repro-tele
     python -m repro trace /tmp/repro-tele --min-ms 1
 """
@@ -351,7 +368,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="default worker processes for POSTed sweep/explore studies; "
              "per-request study_jobs fields override it "
              "(default: $REPRO_STUDY_JOBS, else serial)")
+    serve.add_argument(
+        "--job-workers", type=int, default=2,
+        help="worker threads executing asynchronous /v1/jobs submissions "
+             "(default: 2)")
+    serve.add_argument(
+        "--job-retention", type=float, default=3600.0,
+        help="seconds a finished job's record and result stay queryable "
+             "before eviction; 0 keeps them forever (default: 3600)")
+    serve.add_argument(
+        "--audit-log", default=None,
+        help="append one structured JSON line per job submission and "
+             "state transition to this file (validated by "
+             "repro.telemetry.schema); off by default")
+    serve.add_argument(
+        "--max-body-mb", type=float, default=8.0,
+        help="largest accepted request body in MiB; bigger bodies are "
+             "refused with HTTP 413 (default: 8)")
+    serve.add_argument(
+        "--drain-seconds", type=float, default=10.0,
+        help="on SIGTERM/SIGINT, seconds to wait for running jobs to "
+             "finish before exiting anyway (default: 10)")
     _add_engine_arguments(serve)
+
+    jobs = subparsers.add_parser(
+        "jobs",
+        help="inspect and control a running server's asynchronous jobs "
+             "(list, show, watch the SSE progress stream, cancel)",
+    )
+    jobs.add_argument(
+        "--url", default="http://127.0.0.1:8000",
+        help="base URL of the repro serve instance "
+             "(default: http://127.0.0.1:8000)")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_list = jobs_sub.add_parser("list", help="list the server's jobs")
+    jobs_list.add_argument(
+        "--state", default=None,
+        choices=("queued", "running", "succeeded", "failed", "cancelled"),
+        help="only jobs currently in this state")
+    jobs_list.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)")
+    jobs_show = jobs_sub.add_parser("show", help="print one job record")
+    jobs_show.add_argument("job_id")
+    jobs_watch = jobs_sub.add_parser(
+        "watch",
+        help="stream a job's progress events (SSE) until it finishes")
+    jobs_watch.add_argument("job_id")
+    jobs_watch.add_argument(
+        "--since", type=int, default=0,
+        help="replay only events after this sequence number (default: all)")
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", help="request cooperative cancellation of a job")
+    jobs_cancel.add_argument("job_id")
 
     trace = subparsers.add_parser(
         "trace",
@@ -629,7 +698,152 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.api.service import serve
 
     return serve(host=args.host, port=args.port, session=_session_for(args),
-                 study_root=args.study_root, access_log=args.access_log)
+                 study_root=args.study_root, access_log=args.access_log,
+                 job_workers=args.job_workers,
+                 job_retention=args.job_retention,
+                 audit_log=args.audit_log, max_body_mb=args.max_body_mb,
+                 drain_seconds=args.drain_seconds)
+
+
+def _jobs_request(url: str, method: str = "GET", payload=None):
+    """One JSON round-trip to the server; HTTP errors become CliError."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", "")
+        except ValueError:
+            detail = ""
+        raise CliError(
+            f"{method} {url} failed with HTTP {exc.code}"
+            + (f": {detail}" if detail else "")
+        ) from None
+    except urllib.error.URLError as exc:
+        raise CliError(
+            f"cannot reach {url} ({exc.reason}); is 'repro serve' running?"
+        ) from None
+
+
+def _format_job_row(job: dict) -> list:
+    """One ``jobs list`` table row from a job-record document."""
+    runtime = "-"
+    if job.get("started_s") is not None:
+        end = job.get("finished_s")
+        if end is not None:
+            runtime = f"{end - job['started_s']:.1f}s"
+        else:
+            runtime = "running"
+    return [job["job_id"], job["request_kind"], job["state"],
+            job.get("events", 0), runtime,
+            "yes" if job.get("cancel_requested") else "-"]
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    base = args.url.rstrip("/")
+    if args.jobs_command == "list":
+        payload = _jobs_request(
+            base + "/v1/jobs"
+            + (f"?state={args.state}" if args.state else "")
+        )
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+            return 0
+        rows = [_format_job_row(job) for job in payload["jobs"]]
+        print(format_table(
+            f"Jobs on {base} (queue depth {payload['queue_depth']}, "
+            f"{payload['workers']} workers)",
+            ["job id", "kind", "state", "events", "runtime", "cancel?"],
+            rows,
+        ))
+        return 0
+    if args.jobs_command == "show":
+        print(json.dumps(
+            _jobs_request(f"{base}/v1/jobs/{args.job_id}"), indent=2
+        ))
+        return 0
+    if args.jobs_command == "cancel":
+        record = _jobs_request(
+            f"{base}/v1/jobs/{args.job_id}/cancel", method="POST"
+        )
+        print(f"job {record['job_id']}: {record['state']}"
+              + (" (cancellation requested)"
+                 if record.get("cancel_requested")
+                 and record["state"] == "running" else ""))
+        return 0
+    return _command_jobs_watch(base, args.job_id, args.since)
+
+
+def _command_jobs_watch(base: str, job_id: str, since: int) -> int:
+    """Follow one job's SSE stream, printing each event as it arrives.
+
+    The server ends the stream when the job reaches a terminal state;
+    reconnecting with ``--since`` resumes after the last printed
+    sequence number.  Exit code 0 for ``succeeded``, 1 otherwise.
+    """
+    import urllib.error
+    import urllib.request
+
+    url = f"{base}/v1/jobs/{job_id}/events"
+    if since:
+        url += f"?since={since}"
+    final_state = None
+    try:
+        with urllib.request.urlopen(
+            urllib.request.Request(url), timeout=3600
+        ) as response:
+            event_type, data = None, None
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith(":"):
+                    continue   # keep-alive comment
+                if line.startswith("event: "):
+                    event_type = line[len("event: "):]
+                elif line.startswith("data: "):
+                    data = line[len("data: "):]
+                elif not line and event_type is not None:
+                    event = json.loads(data) if data else {}
+                    if event_type == "state":
+                        state = event.get("state")
+                        print(f"[{event.get('seq', '?')}] state: {state}")
+                        if state in ("succeeded", "failed", "cancelled"):
+                            final_state = state
+                    elif event_type == "progress":
+                        print(f"[{event.get('seq', '?')}] "
+                              f"{event.get('message', '')}")
+                    else:
+                        detail = {k: v for k, v in event.items()
+                                  if k not in ("seq", "time_s", "type")}
+                        print(f"[{event.get('seq', '?')}] {event_type}: "
+                              + json.dumps(detail, sort_keys=True))
+                    event_type, data = None, None
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", "")
+        except ValueError:
+            detail = ""
+        raise CliError(
+            f"GET {url} failed with HTTP {exc.code}"
+            + (f": {detail}" if detail else "")
+        ) from None
+    except urllib.error.URLError as exc:
+        raise CliError(
+            f"cannot reach {url} ({exc.reason}); is 'repro serve' running?"
+        ) from None
+    if final_state is None:
+        # Stream ended without a terminal state event (e.g. resumed with
+        # --since past it); ask the record directly.
+        final_state = _jobs_request(f"{base}/v1/jobs/{job_id}")["state"]
+        print(f"state: {final_state}")
+    return 0 if final_state == "succeeded" else 1
 
 
 def _command_trace(args: argparse.Namespace) -> int:
@@ -681,6 +895,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_explore(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "jobs":
+            return _command_jobs(args)
         if args.command == "trace":
             return _command_trace(args)
     except NotADirectoryError as exc:

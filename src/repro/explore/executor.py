@@ -189,16 +189,26 @@ class StudyExecutor:
                     pool.submit(_run_study_unit, index)
                     for index in range(len(units))
                 }
-                while pending:
-                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in finished:
-                        _, worker, records, stats = future.result()
-                        merge(
-                            [PointResult.from_dict(r) for r in records],
-                            EngineStats.from_dict(stats),
-                            worker,
-                        )
-                        merged += 1
+                try:
+                    while pending:
+                        finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in finished:
+                            _, worker, records, stats = future.result()
+                            merge(
+                                [PointResult.from_dict(r) for r in records],
+                                EngineStats.from_dict(stats),
+                                worker,
+                            )
+                            merged += 1
+                except BaseException:
+                    # merge() aborted the study (e.g. cooperative job
+                    # cancellation at a point boundary).  Drop every
+                    # not-yet-started chunk so the pool's context exit
+                    # waits only for chunks already in flight — merged
+                    # records are checkpointed, nothing else starts.
+                    for future in pending:
+                        future.cancel()
+                    raise
         except (OSError, PermissionError, BrokenProcessPool):
             # No pool in this environment (or it died before finishing):
             # whatever merged stands — records are already checkpointed —

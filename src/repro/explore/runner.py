@@ -529,6 +529,7 @@ class StudyRunner:
         self,
         resume: bool = False,
         progress: Optional[Callable[[str], None]] = None,
+        on_event: Optional[Callable[[Dict], None]] = None,
     ) -> StudyResult:
         """Execute the study and return every point's recorded metrics.
 
@@ -538,8 +539,17 @@ class StudyRunner:
         and :class:`StudyResumeError` is raised); the engine cache
         additionally serves any layer simulated before an interruption
         mid-point.
+
+        ``on_event`` receives one structured dict per completed point
+        (``{"type": "point", "done": n, "total": m, ...}``), fired in
+        the parent process *after* the point is checkpointed to the
+        manifest segment.  Either callback may raise to abort the study
+        at that boundary — completed points stay checkpointed, so a
+        later ``resume=True`` run skips them (how job cancellation
+        composes with resumability).
         """
         emit = progress or (lambda message: None)
+        notify = on_event or (lambda event: None)
         points = self.spec.expand()
         completed: Dict[str, PointResult] = {}
         # Every record the manifest will hold — a superset of `completed`
@@ -591,6 +601,16 @@ class StudyRunner:
             done += 1
             emit(f"[{done}/{total}] {record.label}: "
                  f"speedup {record.metrics['speedup']:.3f}x")
+            notify({
+                "type": "point",
+                "done": done,
+                "total": total,
+                "point_id": record.point_id,
+                "workload": record.workload,
+                "scenario": record.scenario,
+                "label": record.label,
+                "speedup": round(record.metrics["speedup"], 6),
+            })
 
         def merge_unit(records, stats, worker: int) -> None:
             for record in records:

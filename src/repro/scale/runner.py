@@ -43,7 +43,7 @@ exactly the single-device cycle count, bit-for-bit — the parity contract
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Callable, List, Optional, Union
 
 from repro.core.config import AcceleratorConfig
 from repro.engine.backend import SimulationBackend
@@ -136,12 +136,18 @@ class ScaleRunner:
         num_devices: int = 1,
         partition: str = "data",
         interconnect: Optional[Interconnect] = None,
+        on_event: Optional[Callable[[dict], None]] = None,
     ) -> ScalingReport:
         """Scale one traced epoch across ``num_devices`` devices.
 
         Returns the :class:`ScalingReport` with per-device cycle counts,
         the communication cycles on the critical path, and the derived
         speedup/efficiency/bound numbers.
+
+        ``on_event`` receives one structured dict after the reference
+        pass and after each device shard's simulation — per-unit
+        progress for the job layer's SSE stream; it may raise to abort
+        the run at that boundary (cooperative cancellation).
         """
         if num_devices < 1:
             raise ValueError(f"num_devices must be >= 1, got {num_devices}")
@@ -151,6 +157,7 @@ class ScaleRunner:
         frequency = self.config.frequency_mhz
         value_bytes = self.config.pe.value_bits // 8
         tracer = get_tracer()
+        notify = on_event or (lambda event: None)
 
         # The single-device reference: the full trace on one device.
         with tracer.span(
@@ -158,6 +165,12 @@ class ScaleRunner:
         ):
             reference = self._simulate(epoch.layers)
         single_baseline, single_cycles = self._cycles(reference)
+        notify({
+            "type": "scale",
+            "phase": "reference",
+            "workload": workload,
+            "layers": len(epoch.layers),
+        })
 
         if partition == "data":
             shards = partition_data(epoch, num_devices)
@@ -171,6 +184,15 @@ class ScaleRunner:
                 partition=partition, layers=len(shard.layers),
             ):
                 shard_results.append(self._simulate(shard.layers))
+            notify({
+                "type": "scale",
+                "phase": "device",
+                "workload": workload,
+                "device": index,
+                "devices": num_devices,
+                "partition": partition,
+                "layers": len(shard.layers),
+            })
         compute = [self._cycles(results) for results in shard_results]
 
         if partition == "data":

@@ -383,9 +383,31 @@ CACHED_TRACES = _DEFAULT_REGISTRY.gauge(
     "repro_session_cached_traces",
     "Training traces currently cached by the session.",
 )
+#: Asynchronous job state transitions (a job increments every state it enters).
+JOBS_TOTAL = _DEFAULT_REGISTRY.counter(
+    "repro_jobs_total",
+    "Asynchronous job state transitions, by state entered.",
+    labels=("state",),
+)
+#: Jobs submitted but not yet claimed by a worker thread.
+JOB_QUEUE_DEPTH = _DEFAULT_REGISTRY.gauge(
+    "repro_job_queue_depth",
+    "Asynchronous jobs waiting for a worker thread.",
+)
+#: Execution time of finished jobs (queue wait excluded).
+JOB_SECONDS = _DEFAULT_REGISTRY.histogram(
+    "repro_job_seconds",
+    "Asynchronous job execution duration in seconds (queue wait excluded).",
+    buckets=LATENCY_BUCKETS,
+)
 
 # Pre-create the per-tier series so a scrape shows the whole cache
 # hierarchy from the first request, hits or not.
 for _tier in ("memo", "shared", "disk"):
     CACHE_HITS.inc(0, tier=_tier)
 CACHE_MISSES.inc(0)
+# Likewise every job state, so dashboards see the full lifecycle from
+# the first scrape (mirrors repro.api.schema.JOB_STATES; kept literal —
+# this module sits below the API layer).
+for _state in ("queued", "running", "succeeded", "failed", "cancelled"):
+    JOBS_TOTAL.inc(0, state=_state)

@@ -1,6 +1,6 @@
 """Schema validation for telemetry JSONL records.
 
-The event log holds two record types, discriminated by ``type``:
+The event log holds three record types, discriminated by ``type``:
 
 ``span``
     One finished :class:`~repro.telemetry.tracing.Span` — identifiers,
@@ -10,6 +10,11 @@ The event log holds two record types, discriminated by ``type``:
     A point-in-time snapshot of a
     :class:`~repro.telemetry.metrics.MetricsRegistry` (the structured
     JSON variant ``/v1/metrics?format=json`` serves).
+
+``job``
+    One asynchronous-job audit event from the :class:`~repro.jobs.JobStore`
+    audit log (``repro serve --audit-log``): a submission (carrying the
+    full request document) or a state transition.
 
 :func:`validate_record` raises :class:`TelemetryRecordError` naming the
 offending field; :func:`validate_file` walks a whole segment (or every
@@ -40,6 +45,23 @@ _METRICS_FIELDS = {
     "time_s": (int, float),
     "pid": int,
     "metrics": dict,
+}
+
+#: Required fields of ``job`` audit records (JobStore audit log).
+_JOB_FIELDS = {
+    "time_s": (int, float),
+    "pid": int,
+    "job_id": str,
+    "event": str,
+    "state": str,
+    "kind": str,
+}
+
+#: Optional ``job`` fields -> accepted types (beyond the required set).
+_JOB_OPTIONAL_FIELDS = {
+    "from": str,
+    "request": dict,
+    "error": str,
 }
 
 
@@ -87,9 +109,24 @@ def validate_record(record: Dict) -> str:
             )
     elif kind == "metrics":
         _require(record, _METRICS_FIELDS)
+    elif kind == "job":
+        _require(record, _JOB_FIELDS)
+        for field, types in _JOB_OPTIONAL_FIELDS.items():
+            value = record.get(field)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, types)
+            ):
+                raise TelemetryRecordError(
+                    f"field {field!r} has type {type(value).__name__}, "
+                    f"expected {types}", field,
+                )
+        if not record["job_id"] or not record["event"] or not record["state"]:
+            raise TelemetryRecordError(
+                "job_id, event and state must be non-empty", "job_id"
+            )
     else:
         raise TelemetryRecordError(
-            f"unknown record type {kind!r} (expected 'span' or 'metrics')",
+            f"unknown record type {kind!r} (expected 'span', 'metrics' or 'job')",
             "type",
         )
     return kind
