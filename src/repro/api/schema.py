@@ -1,7 +1,7 @@
 """Versioned, JSON-serialisable request/result schema for ``repro.api``.
 
 Every workflow the repository supports — simulate, roofline, sweep,
-explore, scale — is described by one request dataclass and answered with
+explore, scale, diff — is described by one request dataclass and answered with
 one result dataclass wrapped in an :class:`ApiResult` envelope.  All
 types share the same contract:
 
@@ -394,6 +394,89 @@ class ExploreRequest(_ApiModel):
         return spec
 
 
+#: Diff comparison modes (see :mod:`repro.lineage`).
+DIFF_MODES = ("study", "bench")
+
+
+@dataclass
+class DiffRequest(_ApiModel):
+    """Compare two study manifests or two BENCH document sets.
+
+    Both sides are *embedded documents*, not server-side paths — the
+    service never reads the filesystem on behalf of a client.  The CLI
+    (``repro diff``) loads files locally, normalises them, and submits
+    this request through the session like every other subcommand.
+
+    ``mode="study"``: ``a``/``b`` are study manifests (compacted
+    ``manifest.json`` shape) or ``repro explore --format json`` study
+    documents.  ``mode="bench"``: ``a``/``b`` are single BENCH documents
+    or ``{name -> BENCH document}`` mappings.
+    """
+
+    kind: ClassVar[str] = "diff"
+
+    a: Dict[str, Any]
+    b: Dict[str, Any]
+    mode: str = "study"
+    #: Relative tolerance below which a metric counts as held; ``None``
+    #: uses the mode default (0.0 for study, 0.25 for bench).
+    tolerance: Optional[float] = None
+    #: Metric names treated as noise and dropped before diffing (study).
+    ignore: Optional[List[str]] = None
+    #: Frontier objectives overriding the specs' (study mode).
+    objectives: Optional[List[str]] = None
+    #: Display labels for the two sides (default: source descriptions).
+    a_label: Optional[str] = None
+    b_label: Optional[str] = None
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        for name in ("a", "b"):
+            if not isinstance(getattr(self, name), dict):
+                raise SchemaError(
+                    f"{owner}.{name}",
+                    f"expected a JSON object, got {getattr(self, name)!r}",
+                )
+        if self.mode not in DIFF_MODES:
+            raise SchemaError(
+                f"{owner}.mode", f"expected one of {DIFF_MODES}, got {self.mode!r}"
+            )
+        if self.tolerance is not None:
+            if isinstance(self.tolerance, bool) or not isinstance(
+                self.tolerance, (int, float)
+            ):
+                raise SchemaError(
+                    f"{owner}.tolerance", f"expected a number, got {self.tolerance!r}"
+                )
+            if not math.isfinite(self.tolerance) or self.tolerance < 0:
+                raise SchemaError(
+                    f"{owner}.tolerance",
+                    f"must be a finite number >= 0, got {self.tolerance!r}",
+                )
+        for name in ("ignore", "objectives"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(item, str) and item for item in value
+            ):
+                raise SchemaError(
+                    f"{owner}.{name}",
+                    f"expected a list of non-empty strings, got {value!r}",
+                )
+            setattr(self, name, list(value))
+        if self.objectives is not None:
+            from repro.explore.spec import parse_objectives
+
+            try:
+                parse_objectives(self.objectives)
+            except ValueError as exc:
+                raise SchemaError(f"{owner}.objectives", str(exc)) from exc
+        for name in ("a_label", "b_label"):
+            if getattr(self, name) is not None:
+                _check_str(owner, name, getattr(self, name))
+
+
 #: Request types by wire tag, the dispatch table of :func:`request_from_dict`.
 REQUEST_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -403,6 +486,7 @@ REQUEST_TYPES: Dict[str, type] = {
         ScaleRequest,
         SweepRequest,
         ExploreRequest,
+        DiffRequest,
     )
 }
 
@@ -552,6 +636,84 @@ class ExploreResult(_ApiModel):
             raise SchemaError(f"{owner}.study", f"expected an object, got {self.study!r}")
 
 
+@dataclass
+class DiffResult(_ApiModel):
+    """Outcome of a lineage diff (study or bench mode).
+
+    ``deltas`` holds per-point metric deltas in study mode and watched
+    BENCH metric rows in bench mode; ``regressions`` counts the entries
+    ``--fail-on regressed`` trips on (regressed metrics + removed points
+    + frontier departures for studies, gated regressed rows for bench),
+    ``changed`` everything that moved at all.
+    """
+
+    mode: str = "study"
+    a: str = ""
+    b: str = ""
+    tolerance: float = 0.0
+    identical: bool = True
+    regressions: int = 0
+    changed: int = 0
+    summary: Dict[str, Any] = field(default_factory=dict)
+    deltas: List[Dict[str, Any]] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    frontier: Dict[str, Any] = field(default_factory=dict)
+    attribution: List[Dict[str, Any]] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        owner = type(self).__name__
+        if self.mode not in DIFF_MODES:
+            raise SchemaError(
+                f"{owner}.mode", f"expected one of {DIFF_MODES}, got {self.mode!r}"
+            )
+        for name in ("a", "b"):
+            if not isinstance(getattr(self, name), str):
+                raise SchemaError(
+                    f"{owner}.{name}",
+                    f"expected a string, got {getattr(self, name)!r}",
+                )
+        if (
+            isinstance(self.tolerance, bool)
+            or not isinstance(self.tolerance, (int, float))
+            or not math.isfinite(self.tolerance)
+            or self.tolerance < 0
+        ):
+            raise SchemaError(
+                f"{owner}.tolerance",
+                f"expected a finite number >= 0, got {self.tolerance!r}",
+            )
+        if not isinstance(self.identical, bool):
+            raise SchemaError(
+                f"{owner}.identical", f"expected a boolean, got {self.identical!r}"
+            )
+        for name in ("regressions", "changed"):
+            _check_int(owner, name, getattr(self, name), minimum=0)
+        for name in ("summary", "frontier"):
+            if not isinstance(getattr(self, name), dict):
+                raise SchemaError(
+                    f"{owner}.{name}",
+                    f"expected an object, got {getattr(self, name)!r}",
+                )
+        for name in ("deltas", "attribution"):
+            value = getattr(self, name)
+            if not isinstance(value, list) or not all(
+                isinstance(item, dict) for item in value
+            ):
+                raise SchemaError(
+                    f"{owner}.{name}", f"expected a list of objects, got {value!r}"
+                )
+        for name in ("added", "removed", "warnings"):
+            value = getattr(self, name)
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise SchemaError(
+                    f"{owner}.{name}", f"expected a list of strings, got {value!r}"
+                )
+
+
 #: Result type for each request kind (the envelope's ``result`` payload).
 RESULT_TYPES: Dict[str, type] = {
     "simulate": SimulateResult,
@@ -559,6 +721,7 @@ RESULT_TYPES: Dict[str, type] = {
     "scale": ScaleResult,
     "sweep": SweepResult,
     "explore": ExploreResult,
+    "diff": DiffResult,
 }
 
 

@@ -46,8 +46,11 @@ from repro._version import __version__
 from repro.api.schema import (
     SCHEMA_VERSION,
     ApiResult,
+    DiffRequest,
+    DiffResult,
     ExploreRequest,
     ExploreResult,
+    SchemaError,
     RooflineRequest,
     RooflineResult,
     ScaleRequest,
@@ -155,6 +158,7 @@ class Session:
             ScaleRequest.kind: self._run_scale,
             SweepRequest.kind: self._run_sweep,
             ExploreRequest.kind: self._run_explore,
+            DiffRequest.kind: self._run_diff,
         }
 
     # ------------------------------------------------------------------
@@ -290,6 +294,10 @@ class Session:
         """Build and submit an :class:`ExploreRequest` for a spec/dict."""
         payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
         return self.submit(ExploreRequest(spec=payload, **params), progress=progress)
+
+    def diff(self, a: Dict, b: Dict, progress: Progress = None, **params) -> ApiResult:
+        """Build and submit a :class:`DiffRequest` for two documents."""
+        return self.submit(DiffRequest(a=dict(a), b=dict(b), **params), progress=progress)
 
     def stats(self) -> Dict[str, object]:
         """Session-lifetime counters (the ``/v1/stats`` payload).
@@ -547,3 +555,99 @@ class Session:
         for delta in runner.worker_stats:
             self.engine.stats.absorb(delta)
         return ExploreResult(study=study_to_dict(study, request.objectives))
+
+    def _run_diff(
+        self, request: DiffRequest, progress: Progress,
+        on_event: EventHook = None,
+    ) -> DiffResult:
+        """Lineage diff of two embedded documents; pure computation.
+
+        No training or simulation happens here — the handler exists so
+        diffs flow through the same session/service plumbing (telemetry,
+        metrics, ``/v1/diff``) as every other request kind.
+        """
+        from repro.lineage.bench import (
+            DEFAULT_BENCH_TOLERANCE,
+            diff_bench,
+            load_bench_side,
+        )
+        from repro.lineage.diff import HELD, REGRESSED, diff_snapshots
+        from repro.lineage.snapshot import ManifestSnapshot, SnapshotError
+
+        emit = progress or (lambda message: None)
+        if request.mode == "bench":
+            tolerance = (
+                request.tolerance
+                if request.tolerance is not None
+                else DEFAULT_BENCH_TOLERANCE
+            )
+            try:
+                a_label, a_docs = load_bench_side(request.a, request.a_label or "a")
+                b_label, b_docs = load_bench_side(request.b, request.b_label or "b")
+            except ValueError as exc:
+                raise SchemaError("DiffRequest", str(exc)) from exc
+            diff = diff_bench(
+                a_docs, b_docs, tolerance=tolerance,
+                a_source=a_label, b_source=b_label,
+            )
+            summary = diff.summary()
+            emit(
+                f"Watched {summary['watched']} BENCH metric(s): "
+                f"{summary['regressed']} regressed, "
+                f"{summary['improved']} improved"
+            )
+            return DiffResult(
+                mode="bench",
+                a=diff.a_source,
+                b=diff.b_source,
+                tolerance=tolerance,
+                identical=diff.identical,
+                regressions=diff.regressions,
+                changed=sum(
+                    1 for row in diff.rows if row["classification"] != HELD
+                ),
+                summary=summary,
+                deltas=[dict(row) for row in diff.rows],
+                warnings=list(diff.warnings),
+            )
+        tolerance = request.tolerance if request.tolerance is not None else 0.0
+        ignore = tuple(request.ignore or ())
+        snapshots = []
+        for side in ("a", "b"):
+            label = getattr(request, f"{side}_label") or side
+            try:
+                snapshots.append(
+                    ManifestSnapshot.from_payload(
+                        getattr(request, side), source=label, ignore=ignore
+                    )
+                )
+            except SnapshotError as exc:
+                raise SchemaError(f"DiffRequest.{side}", str(exc)) from exc
+        diff = diff_snapshots(
+            snapshots[0], snapshots[1],
+            tolerance=tolerance, objectives=request.objectives,
+        )
+        emit(
+            f"Matched {diff.matched} point(s): "
+            f"{diff.count(REGRESSED)} regressed, {len(diff.deltas)} delta(s)"
+        )
+        return DiffResult(
+            mode="study",
+            a=diff.a_source,
+            b=diff.b_source,
+            tolerance=tolerance,
+            identical=diff.identical,
+            regressions=(
+                diff.count(REGRESSED)
+                + len(diff.removed)
+                + len(diff.frontier.get("left", []))
+            ),
+            changed=len(diff.deltas) + len(diff.added) + len(diff.removed),
+            summary=diff.summary(),
+            deltas=[delta.to_dict() for delta in diff.deltas],
+            added=list(diff.added),
+            removed=list(diff.removed),
+            frontier=dict(diff.frontier),
+            attribution=[dict(entry) for entry in diff.attribution],
+            warnings=list(diff.warnings),
+        )

@@ -44,6 +44,17 @@ JSON to a running ``repro serve``.
     analysis over (speedup, energy efficiency, area overhead) and a
     resumable on-disk manifest (``--study-dir`` + ``--resume``).
 
+``diff``
+    Compare two study manifests (or two sets of ``BENCH_*.json``
+    trajectory files): per-point metric deltas with configurable
+    tolerance, Pareto-frontier membership changes, "which knob moved
+    this" attribution, and improved/held/regressed classification of
+    watched benchmark gates.  ``--fail-on regressed`` exits nonzero on
+    regressions — the CI ``regression-watch`` gate.  Sides are study
+    directories, ``manifest.json`` / ``manifest.segment.jsonl`` files,
+    ``repro explore --format json`` documents, BENCH files, or
+    directories of BENCH files; the mode is auto-detected.
+
 ``serve``
     Start the batch simulation service: concurrent clients POST request
     documents to ``/v1/simulate`` etc. and share one warm session, so a
@@ -128,7 +139,7 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro._version import __version__
 from repro.analysis.reporting import format_engine_stats, format_table
@@ -342,6 +353,42 @@ def build_parser() -> argparse.ArgumentParser:
              "and results are identical to a serial run "
              "(default: $REPRO_STUDY_JOBS, else serial)")
     _add_engine_arguments(explore, seed_default=None)
+
+    diff = subparsers.add_parser(
+        "diff",
+        help="compare two study manifests or BENCH_*.json sets: metric "
+             "deltas, frontier changes, knob attribution, regression watch",
+    )
+    diff.add_argument(
+        "a", help="baseline: a study dir, manifest/study-document JSON, "
+                  "manifest segment .jsonl, BENCH_*.json file, or a "
+                  "directory of BENCH_*.json files")
+    diff.add_argument("b", help="candidate, same accepted forms as A")
+    diff.add_argument(
+        "--mode", choices=("auto", "study", "bench"), default="auto",
+        help="comparison mode; 'auto' detects BENCH files vs study "
+             "artifacts from the paths' contents (default: auto)")
+    diff.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative tolerance below which a metric counts as held "
+             "(default: 0 for study mode — any change reports; 0.25 for "
+             "bench mode's informational timing metrics)")
+    diff.add_argument(
+        "--ignore", default=None,
+        help="comma-separated metric names treated as noise and dropped "
+             "before diffing (study mode)")
+    diff.add_argument(
+        "--objectives", default=None,
+        help="comma-separated frontier objectives overriding the specs', "
+             "e.g. 'speedup,area_overhead:min' (study mode)")
+    diff.add_argument(
+        "--format", choices=("table", "json", "markdown"), default="table",
+        help="report format (default: table)")
+    diff.add_argument(
+        "--fail-on", choices=("regressed", "changed"), default=None,
+        help="exit 1 when the diff contains any entry of this class "
+             "(the CI regression gate)")
+    _add_engine_arguments(diff, seed_default=None)
 
     serve = subparsers.add_parser(
         "serve",
@@ -694,6 +741,214 @@ def _command_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_diff_side(path_text: str, mode: str):
+    """Load one ``repro diff`` operand: ``(detected mode, payload, label)``.
+
+    Detection order for ``mode="auto"``: a directory holding a study
+    manifest is a study; a directory of ``BENCH_*.json`` is a bench set;
+    a ``BENCH_*`` file or a JSON object with a ``benchmark`` key is a
+    bench document; everything else is a study artifact (manifest,
+    study document, or ``.jsonl`` segment).
+    """
+    import json as _json
+
+    from repro.lineage.bench import load_bench_side
+    from repro.lineage.snapshot import ManifestSnapshot, SnapshotError
+
+    path = Path(path_text)
+    if not path.exists():
+        raise CliError(f"{path}: no such file or directory")
+    detected = mode
+    if mode == "auto":
+        if path.is_dir():
+            if (path / "manifest.json").exists() or (
+                path / "manifest.segment.jsonl"
+            ).exists():
+                detected = "study"
+            elif any(path.glob("BENCH_*.json")):
+                detected = "bench"
+            else:
+                raise CliError(
+                    f"{path}: directory holds neither a study manifest nor "
+                    f"BENCH_*.json files; pass --mode explicitly"
+                )
+        elif path.name.startswith("BENCH_"):
+            detected = "bench"
+        elif path.suffix == ".jsonl":
+            detected = "study"
+        else:
+            try:
+                payload = _json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                raise CliError(f"{path}: not valid JSON ({exc})") from exc
+            detected = (
+                "bench"
+                if isinstance(payload, dict) and "benchmark" in payload
+                else "study"
+            )
+    try:
+        if detected == "bench":
+            label, docs = load_bench_side(path)
+            return "bench", docs, label
+        snapshot = ManifestSnapshot.from_file(path)
+        return "study", snapshot.to_payload(), snapshot.source
+    except (SnapshotError, ValueError, OSError) as exc:
+        raise CliError(f"{path}: {exc}") from exc
+
+
+def _diff_rows(diff) -> Tuple[List[str], List[List[str]]]:
+    """Column headers + formatted rows for a :class:`DiffResult`."""
+    def num(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return str(value)
+        return f"{value:.4g}"
+
+    if diff.mode == "bench":
+        columns = ["benchmark", "metric", "committed", "fresh", "bound",
+                   "gate", "class"]
+        rows = [
+            [row["benchmark"], row["metric"], num(row["a"]), num(row["b"]),
+             num(row["bound"]), "yes" if row["gate"] else "no",
+             row["classification"]]
+            for row in diff.deltas
+        ]
+        return columns, rows
+    columns = ["point", "metric", "a", "b", "delta", "relative", "class"]
+    rows = [
+        [d["label"], d["metric"], num(d["a"]), num(d["b"]), num(d["delta"]),
+         "-" if d["relative"] is None else f"{d['relative']:+.1%}",
+         d["classification"]]
+        for d in diff.deltas
+    ]
+    return columns, rows
+
+
+def _format_diff_report(diff) -> str:
+    """The human-readable ``repro diff`` report (``--format table``)."""
+    summary = diff.summary
+    lines = [f"Diff ({diff.mode}): {diff.a} -> {diff.b}"]
+    if diff.mode == "bench":
+        lines.append(
+            f"Watched {summary['watched']} metric(s): "
+            f"{summary['improved']} improved, {summary['held']} held, "
+            f"{summary['regressed']} regressed "
+            f"({summary['gated_regressions']} gated)"
+        )
+    else:
+        lines.append(
+            f"Points: {summary['matched_points']} matched, "
+            f"{summary['added_points']} added, "
+            f"{summary['removed_points']} removed"
+        )
+        lines.append(
+            f"Metric deltas: {summary['improved']} improved, "
+            f"{summary['regressed']} regressed, {summary['changed']} changed "
+            f"(tolerance {diff.tolerance:g})"
+        )
+        if summary.get("fingerprints_match") is False:
+            lines.append("WARNING: spec fingerprints differ between sides")
+    if diff.identical:
+        lines.append("No differences: the snapshots are identical.")
+    columns, rows = _diff_rows(diff)
+    if rows:
+        title = "Watched metrics" if diff.mode == "bench" else "Changed metrics"
+        lines.append("")
+        lines.append(format_table(title, columns, rows))
+    if diff.mode == "study" and diff.frontier.get("computed"):
+        frontier = diff.frontier
+        lines.append("")
+        lines.append(
+            f"Frontier ({', '.join(frontier['objectives'])}): "
+            f"{len(frontier['held'])} held, "
+            f"{len(frontier['entered'])} entered, "
+            f"{len(frontier['left'])} left"
+        )
+        for point_id in frontier["entered"]:
+            lines.append(f"  + {point_id} entered the frontier")
+        for point_id in frontier["left"]:
+            lines.append(f"  - {point_id} left the frontier")
+    if diff.attribution:
+        lines.append("")
+        lines.append("Attribution (single axes explaining every change):")
+        for entry in diff.attribution:
+            lines.append(
+                f"  {entry['axis']} = {', '.join(entry['values'])}"
+            )
+    for warning in diff.warnings:
+        lines.append(f"warning: {warning}")
+    return "\n".join(lines)
+
+
+def _format_diff_markdown(diff) -> str:
+    """The ``repro diff --format markdown`` report (PR-comment ready)."""
+    summary = diff.summary
+    lines = [f"### Diff ({diff.mode}): `{diff.a}` → `{diff.b}`", ""]
+    if diff.identical:
+        lines.append("No differences: the snapshots are identical.")
+    else:
+        lines.append(
+            f"**{summary.get('regressed', 0)} regressed**, "
+            f"{summary.get('improved', 0)} improved "
+            f"(tolerance {diff.tolerance:g})"
+        )
+    columns, rows = _diff_rows(diff)
+    if rows:
+        lines.append("")
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "---|" * len(columns))
+        for row in rows:
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    if diff.mode == "study" and diff.frontier.get("computed"):
+        frontier = diff.frontier
+        for point_id in frontier["entered"]:
+            lines.append(f"- `{point_id}` entered the frontier")
+        for point_id in frontier["left"]:
+            lines.append(f"- `{point_id}` left the frontier")
+    for warning in diff.warnings:
+        lines.append(f"- warning: {warning}")
+    return "\n".join(lines)
+
+
+def _command_diff(args: argparse.Namespace) -> int:
+    from repro.api.schema import DiffRequest
+
+    mode_a, payload_a, label_a = _load_diff_side(args.a, args.mode)
+    mode_b, payload_b, label_b = _load_diff_side(args.b, args.mode)
+    if mode_a != mode_b:
+        raise CliError(
+            f"cannot diff a {mode_a} artifact ({args.a}) against a "
+            f"{mode_b} artifact ({args.b}); pass --mode to force one"
+        )
+    split = lambda text: [part.strip() for part in text.split(",") if part.strip()]
+    request = DiffRequest(
+        a=payload_a,
+        b=payload_b,
+        mode=mode_a,
+        tolerance=args.tolerance,
+        ignore=split(args.ignore) if args.ignore else None,
+        objectives=split(args.objectives) if args.objectives else None,
+        a_label=label_a,
+        b_label=label_b,
+    )
+    result = _session_for(args).submit(request)
+    diff = result.result
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    elif args.format == "markdown":
+        print(_format_diff_markdown(diff))
+    else:
+        print(_format_diff_report(diff))
+    if args.fail_on:
+        count = diff.regressions if args.fail_on == "regressed" else diff.changed
+        if count:
+            print(f"FAIL: {count} {args.fail_on} entr"
+                  f"{'y' if count == 1 else 'ies'} (--fail-on {args.fail_on})")
+            return 1
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.api.service import serve
 
@@ -893,6 +1148,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "explore":
             return _command_explore(args)
+        if args.command == "diff":
+            return _command_diff(args)
         if args.command == "serve":
             return _command_serve(args)
         if args.command == "jobs":

@@ -1,0 +1,416 @@
+"""Property + unit tests for the lineage diff engine (:mod:`repro.lineage`).
+
+The diff engine's contract is algebraic, so the core guarantees are
+hypothesis properties over generated manifests:
+
+* **identity** — ``diff(A, A)`` is empty for any manifest, at any
+  tolerance;
+* **anti-symmetry** — swapping the sides exactly negates every delta
+  and mirrors improved/regressed and entered/left;
+* **tolerance monotonicity** — raising the tolerance never turns a held
+  metric into a changed one;
+* **robust loading** — legacy (compact ``manifest.json``) and torn
+  segment files load and diff without crashing, and both serialised
+  forms of the same records diff as identical.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lineage.bench import (
+    DEFAULT_BENCH_TOLERANCE,
+    WATCHED_METRICS,
+    diff_bench,
+    load_bench_side,
+)
+from repro.lineage.diff import (
+    CHANGED,
+    HELD,
+    IMPROVED,
+    REGRESSED,
+    classify,
+    diff_snapshots,
+    values_hold,
+)
+from repro.lineage.snapshot import ManifestSnapshot, SnapshotError, SnapshotPoint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# ----------------------------------------------------------------------
+# strategies
+
+#: Metric names mixing known orientations (speedup: higher-better,
+#: area_overhead: lower-better) with an unregistered one.
+METRIC_NAMES = ("speedup", "area_overhead", "custom_metric")
+
+finite_metric = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def point_records(draw, index: int = 0):
+    workload = draw(st.sampled_from(("snli", "resnet50", "gcn")))
+    scenario = draw(st.sampled_from(("dense", "random:0.9")))
+    staging = draw(st.sampled_from((1, 2, 4)))
+    rows = draw(st.sampled_from((4, 8)))
+    metrics = {
+        name: draw(finite_metric)
+        for name in draw(
+            st.sets(st.sampled_from(METRIC_NAMES), min_size=1).map(sorted)
+        )
+    }
+    point_id = f"{workload}-{scenario}-{staging}-{rows}-{index}"
+    return {
+        "point_id": point_id,
+        "workload": workload,
+        "scenario": scenario,
+        "knobs": [["rows", rows], ["staging", staging]],
+        "label": point_id,
+        "config_label": "cfg",
+        "metrics": metrics,
+    }
+
+
+@st.composite
+def manifests(draw, min_points: int = 0):
+    count = draw(st.integers(min_value=min_points, max_value=6))
+    records = [draw(point_records(index=i)) for i in range(count)]
+    return {
+        "version": 1,
+        "spec_fingerprint": draw(st.sampled_from(("fp-a", "fp-b"))),
+        "completed": {record["point_id"]: record for record in records},
+    }
+
+
+@st.composite
+def manifest_pairs(draw):
+    """Two manifests sharing point ids but with freely perturbed metrics."""
+    base = draw(manifests(min_points=1))
+    other = json.loads(json.dumps(base))
+    for record in other["completed"].values():
+        for name in list(record["metrics"]):
+            if draw(st.booleans()):
+                record["metrics"][name] = draw(finite_metric)
+    return base, other
+
+
+# ----------------------------------------------------------------------
+# the tolerance predicate itself
+
+class TestValuesHold:
+    @given(finite_metric, finite_metric,
+           st.floats(min_value=0, max_value=10))
+    @settings(max_examples=300, deadline=None)
+    def test_symmetric(self, a, b, tolerance):
+        assert values_hold(a, b, tolerance) == values_hold(b, a, tolerance)
+
+    @given(finite_metric, st.floats(min_value=0, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_identity_holds_at_any_tolerance(self, a, tolerance):
+        assert values_hold(a, a, tolerance)
+
+    @given(finite_metric, finite_metric,
+           st.floats(min_value=0, max_value=5),
+           st.floats(min_value=0, max_value=5))
+    @settings(max_examples=300, deadline=None)
+    def test_monotone_in_tolerance(self, a, b, t1, t2):
+        low, high = sorted((t1, t2))
+        if values_hold(a, b, low):
+            assert values_hold(a, b, high)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            values_hold(1.0, 2.0, -0.1)
+
+    def test_classification_uses_orientation(self):
+        assert classify("speedup", 2.0, 1.0, 0.0) == REGRESSED
+        assert classify("speedup", 1.0, 2.0, 0.0) == IMPROVED
+        assert classify("area_overhead", 0.1, 0.2, 0.0) == REGRESSED
+        assert classify("area_overhead", 0.2, 0.1, 0.0) == IMPROVED
+        assert classify("custom_metric", 1.0, 2.0, 0.0) == CHANGED
+        assert classify("speedup", 1.0, 1.0, 0.0) == HELD
+
+
+# ----------------------------------------------------------------------
+# diff properties
+
+class TestDiffProperties:
+    @given(manifests(), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=100, deadline=None)
+    def test_identity_is_empty(self, manifest, tolerance):
+        snapshot = ManifestSnapshot.from_payload(manifest)
+        diff = diff_snapshots(snapshot, snapshot, tolerance=tolerance)
+        assert diff.identical
+        assert diff.deltas == []
+        assert diff.added == [] and diff.removed == []
+        assert diff.frontier.get("entered", []) == []
+        assert diff.frontier.get("left", []) == []
+        assert diff.attribution == []
+
+    @given(manifest_pairs(), st.floats(min_value=0, max_value=0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_anti_symmetry(self, pair, tolerance):
+        a, b = pair
+        sa = ManifestSnapshot.from_payload(a, source="a")
+        sb = ManifestSnapshot.from_payload(b, source="b")
+        forward = diff_snapshots(sa, sb, tolerance=tolerance)
+        backward = diff_snapshots(sb, sa, tolerance=tolerance)
+
+        flip = {IMPROVED: REGRESSED, REGRESSED: IMPROVED, CHANGED: CHANGED}
+        fwd = {
+            (d.point_id, d.metric): (d.delta, d.classification)
+            for d in forward.deltas
+        }
+        bwd = {
+            (d.point_id, d.metric): (d.delta, d.classification)
+            for d in backward.deltas
+        }
+        assert set(fwd) == set(bwd)
+        for key, (delta, classification) in fwd.items():
+            assert bwd[key][0] == -delta
+            assert bwd[key][1] == flip[classification]
+        assert set(forward.added) == set(backward.removed)
+        assert set(forward.removed) == set(backward.added)
+        assert forward.frontier.get("entered") == backward.frontier.get("left")
+        assert forward.frontier.get("left") == backward.frontier.get("entered")
+
+    @given(manifest_pairs(),
+           st.floats(min_value=0, max_value=1),
+           st.floats(min_value=0, max_value=1))
+    @settings(max_examples=100, deadline=None)
+    def test_tolerance_monotonicity(self, pair, t1, t2):
+        a, b = pair
+        low, high = sorted((t1, t2))
+        sa = ManifestSnapshot.from_payload(a)
+        sb = ManifestSnapshot.from_payload(b)
+        loose = diff_snapshots(sa, sb, tolerance=high)
+        tight = diff_snapshots(sa, sb, tolerance=low)
+        loose_keys = {(d.point_id, d.metric) for d in loose.deltas}
+        tight_keys = {(d.point_id, d.metric) for d in tight.deltas}
+        assert loose_keys <= tight_keys
+
+
+# ----------------------------------------------------------------------
+# loading: legacy manifests, segments, torn files, study dirs
+
+class TestSnapshotLoading:
+    def _manifest(self):
+        return {
+            "version": 1,
+            "spec_fingerprint": "fp",
+            "completed": {
+                "p1": {
+                    "point_id": "p1", "workload": "snli", "scenario": "dense",
+                    "knobs": [["staging", 2]], "label": "p1",
+                    "config_label": "c", "metrics": {"speedup": 1.5},
+                },
+                "p2": {
+                    "point_id": "p2", "workload": "snli", "scenario": "dense",
+                    "knobs": [["staging", 4]], "label": "p2",
+                    "config_label": "c", "metrics": {"speedup": 1.9},
+                },
+            },
+        }
+
+    def _segment_lines(self):
+        manifest = self._manifest()
+        lines = [json.dumps({
+            "kind": "header", "version": 1, "spec_fingerprint": "fp",
+        })]
+        for record in manifest["completed"].values():
+            lines.append(json.dumps({"kind": "point", "record": record}))
+        return lines
+
+    def test_legacy_manifest_round_trip(self, tmp_path):
+        """Compact manifest.json (the pre-segment format) loads and
+        diffs as identical to its own to_payload round-trip."""
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(self._manifest()))
+        snapshot = ManifestSnapshot.from_file(path)
+        assert len(snapshot) == 2
+        assert snapshot.spec_fingerprint == "fp"
+        round_tripped = ManifestSnapshot.from_payload(snapshot.to_payload())
+        assert diff_snapshots(snapshot, round_tripped).identical
+
+    def test_segment_equals_manifest(self, tmp_path):
+        """The same records serialised as a segment diff as identical
+        to the compact-manifest form."""
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text(json.dumps(self._manifest()))
+        segment_path = tmp_path / "run.jsonl"
+        segment_path.write_text("\n".join(self._segment_lines()) + "\n")
+        from_manifest = ManifestSnapshot.from_file(manifest_path)
+        from_segment = ManifestSnapshot.from_file(segment_path)
+        assert diff_snapshots(from_manifest, from_segment).identical
+
+    def test_torn_segment_loads_without_crashing(self, tmp_path):
+        """A segment truncated mid-record keeps every complete record."""
+        lines = self._segment_lines()
+        torn = "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        path = tmp_path / "torn.jsonl"
+        path.write_text(torn)
+        snapshot = ManifestSnapshot.from_file(path)
+        assert len(snapshot) == 1          # p2's record was torn
+        assert any("torn" in warning for warning in snapshot.warnings)
+        diff = diff_snapshots(snapshot, snapshot)
+        assert diff.identical
+
+    def test_study_dir_union_segment_wins(self, tmp_path):
+        manifest = self._manifest()
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        newer = dict(manifest["completed"]["p2"], metrics={"speedup": 3.0})
+        segment = [
+            json.dumps({"kind": "header", "version": 1,
+                        "spec_fingerprint": "fp"}),
+            json.dumps({"kind": "point", "record": newer}),
+        ]
+        (tmp_path / "manifest.segment.jsonl").write_text(
+            "\n".join(segment) + "\n"
+        )
+        snapshot = ManifestSnapshot.from_file(tmp_path)
+        assert snapshot.points["p2"].metrics["speedup"] == 3.0
+        assert snapshot.points["p1"].metrics["speedup"] == 1.5
+
+    def test_non_finite_metrics_are_dropped(self):
+        record = self._manifest()["completed"]["p1"]
+        record["metrics"] = {"speedup": float("nan"), "area_overhead": 0.5}
+        point = SnapshotPoint.from_record(record)
+        assert point.metrics == {"area_overhead": 0.5}
+
+    def test_ignore_list_drops_metrics(self):
+        payload = self._manifest()
+        snapshot = ManifestSnapshot.from_payload(payload, ignore=("speedup",))
+        assert all("speedup" not in p.metrics for p in snapshot.points.values())
+
+    def test_rejects_junk(self, tmp_path):
+        with pytest.raises(SnapshotError, match="neither"):
+            ManifestSnapshot.from_payload({"nonsense": 1})
+        with pytest.raises(SnapshotError, match="no such file"):
+            ManifestSnapshot.from_file(tmp_path / "missing.json")
+        with pytest.raises(SnapshotError, match="version"):
+            ManifestSnapshot.from_payload({"version": 99, "completed": {}})
+
+    def test_fingerprint_mismatch_warns_in_diff(self):
+        a = ManifestSnapshot.from_payload(self._manifest())
+        other = dict(self._manifest(), spec_fingerprint="other")
+        b = ManifestSnapshot.from_payload(other)
+        diff = diff_snapshots(a, b)
+        assert diff.fingerprints_match is False
+        assert any("fingerprints differ" in w for w in diff.warnings)
+
+
+# ----------------------------------------------------------------------
+# attribution
+
+class TestAttribution:
+    def _pair_with_axis_change(self):
+        """4 points over staging x rows; only staging=4 points change."""
+        completed = {}
+        for staging in (2, 4):
+            for rows in (4, 8):
+                pid = f"s{staging}-r{rows}"
+                completed[pid] = {
+                    "point_id": pid, "workload": "snli", "scenario": "dense",
+                    "knobs": [["rows", rows], ["staging", staging]],
+                    "label": pid, "config_label": "c",
+                    "metrics": {"speedup": 2.0},
+                }
+        a = {"version": 1, "spec_fingerprint": "fp", "completed": completed}
+        b = json.loads(json.dumps(a))
+        for pid, record in b["completed"].items():
+            if pid.startswith("s4"):
+                record["metrics"]["speedup"] = 1.0
+        return a, b
+
+    def test_single_knob_attribution(self):
+        a, b = self._pair_with_axis_change()
+        diff = diff_snapshots(
+            ManifestSnapshot.from_payload(a), ManifestSnapshot.from_payload(b)
+        )
+        axes = {entry["axis"]: entry["values"] for entry in diff.attribution}
+        assert axes == {"staging": ["4"]}
+
+    def test_no_attribution_when_everything_changed(self):
+        a, b = self._pair_with_axis_change()
+        for record in b["completed"].values():
+            record["metrics"]["speedup"] = 0.5
+        diff = diff_snapshots(
+            ManifestSnapshot.from_payload(a), ManifestSnapshot.from_payload(b)
+        )
+        assert diff.attribution == []
+
+
+# ----------------------------------------------------------------------
+# the BENCH watcher
+
+class TestBenchWatch:
+    def test_committed_bench_files_diff_clean_against_themselves(self):
+        _, docs = load_bench_side(REPO_ROOT / "BENCH_telemetry.json")
+        diff = diff_bench(docs, docs)
+        assert diff.identical and diff.regressions == 0
+
+    def test_bound_violation_regresses(self):
+        _, docs = load_bench_side(REPO_ROOT / "BENCH_telemetry.json")
+        fresh = json.loads(json.dumps(docs))
+        fresh["telemetry_overhead"]["enabled_overhead_fraction"] = 0.9
+        diff = diff_bench(docs, fresh)
+        assert diff.regressions == 1
+        row = next(r for r in diff.rows if r["classification"] == REGRESSED)
+        assert row["metric"] == "enabled_overhead_fraction"
+        assert row["gate"] is True
+
+    def test_within_bound_noise_holds(self):
+        """Timing drift that respects the committed bound is not a
+        regression — CI must survive machine-to-machine noise."""
+        _, docs = load_bench_side(REPO_ROOT / "BENCH_telemetry.json")
+        fresh = json.loads(json.dumps(docs))
+        fresh["telemetry_overhead"]["enabled_overhead_fraction"] = 0.02
+        diff = diff_bench(docs, fresh)
+        assert diff.regressions == 0
+
+    def test_boolean_gate_flips_to_regressed(self):
+        _, docs = load_bench_side(REPO_ROOT / "BENCH_engine.json")
+        fresh = json.loads(json.dumps(docs))
+        fresh["engine_backends"]["bit_identical"] = False
+        diff = diff_bench(docs, fresh)
+        assert diff.regressions >= 1
+
+    def test_shrunk_frontier_regresses(self):
+        _, docs = load_bench_side(REPO_ROOT / "BENCH_dse.json")
+        fresh = json.loads(json.dumps(docs))
+        fresh["dse_frontier"]["frontier_size"] = 0
+        diff = diff_bench(docs, fresh)
+        assert any(
+            row["metric"] == "frontier_size"
+            and row["classification"] == REGRESSED
+            for row in diff.rows
+        )
+        assert diff.regressions >= 1
+
+    def test_missing_gate_field_regresses(self):
+        """A benchmark silently dropping its gate is itself a regression."""
+        _, docs = load_bench_side(REPO_ROOT / "BENCH_telemetry.json")
+        fresh = json.loads(json.dumps(docs))
+        del fresh["telemetry_overhead"]["bit_identical"]
+        diff = diff_bench(docs, fresh)
+        assert diff.regressions >= 1
+
+    def test_one_sided_benchmark_is_skipped_with_warning(self):
+        _, a = load_bench_side(REPO_ROOT)
+        b = {"telemetry_overhead": a["telemetry_overhead"]}
+        diff = diff_bench(a, b)
+        assert diff.regressions == 0
+        assert any("no fresh document" in w for w in diff.warnings)
+
+    def test_every_watched_benchmark_has_a_schema(self):
+        from repro.lineage.bench import BENCH_SCHEMAS
+
+        assert set(WATCHED_METRICS) == set(BENCH_SCHEMAS)
+
+    def test_default_tolerance_is_generous(self):
+        assert DEFAULT_BENCH_TOLERANCE >= 0.2
